@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper, times it with
+pytest-benchmark (one round — these are experiments, not microbenchmarks)
+and writes the formatted text table under ``results/`` so EXPERIMENTS.md
+can reference the exact output of the last run.
+
+Scale comes from ``REPRO_SCALE`` (smoke/default/full); benchmarks default
+to ``default``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import current_scale
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer: save_result(name, text) -> path under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""A2 — ablation: sensitivity to the staleness bound (age).
+
+§6: "different degrees of asynchrony are best for different programs and
+network loads ... we are experimenting with dynamic (runtime) setting of
+tolerable age".  This sweep quantifies the static trade-off the paper's
+age ∈ {0, 5, 10, 20, 30} grid samples: age 0 pays blocking, very large
+ages approach fully-asynchronous behaviour (staleness costs iterations),
+and the best setting lies in between for the Bayesian workload, where
+the age bound directly controls rollback depth and message batching.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bayes.logic_sampling import run_serial_logic_sampling
+from repro.bayes.parallel import ParallelLsConfig, run_parallel_logic_sampling
+from repro.bayes.random_nets import make_table2_network
+from repro.core.coherence import CoherenceMode
+from repro.experiments.reporting import text_table
+from repro.experiments.table2 import pick_query
+
+AGES = (0, 2, 5, 10, 20, 30, 60)
+
+
+def sweep(seed: int = 3):
+    net = make_table2_network("A")
+    q = pick_query(net)
+    serial = run_serial_logic_sampling(net, query=q, seed=seed)
+    rows = []
+    for age in AGES:
+        r = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=net, query=q, n_procs=2, mode=CoherenceMode.NON_STRICT,
+                age=age, seed=seed, max_iterations=40_000,
+            )
+        )
+        rows.append(
+            {
+                "age": age,
+                "speedup": serial.sim_time / r.completion_time if r.completion_time else 0.0,
+                "messages": r.messages_sent,
+                "rollbacks": r.rollback.rollbacks,
+                "block_time": r.gr_stats.block_time,
+            }
+        )
+    return rows
+
+
+def test_age_sweep(benchmark, save_result):
+    rows = run_once(benchmark, sweep)
+    save_result(
+        "ablation_age_sweep",
+        text_table(
+            ["age", "speedup", "messages", "rollbacks", "block time (s)"],
+            [[r["age"], r["speedup"], r["messages"], r["rollbacks"], r["block_time"]] for r in rows],
+            title="A2 — Global_Read age sensitivity (network A, 2 processors)",
+        ),
+    )
+    by_age = {r["age"]: r for r in rows}
+    # message count falls monotonically with age (batching window grows)
+    msgs = [r["messages"] for r in rows]
+    assert all(a >= b * 0.9 for a, b in zip(msgs, msgs[1:]))
+    # age 0 blocks hardest and is not the best performer
+    assert by_age[0]["block_time"] >= max(r["block_time"] for r in rows) * 0.5
+    best_age = max(rows, key=lambda r: r["speedup"])["age"]
+    assert best_age > 0

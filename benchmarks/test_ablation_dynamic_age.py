@@ -1,0 +1,69 @@
+"""A5 — ablation: dynamic (runtime) age adaptation (§6 future work).
+
+"Different degrees of asynchrony are best for different programs and
+network loads" — a fixed age tuned for one load level is wrong for
+another.  The AIMD controller (:mod:`repro.core.dynamic_age`) adapts the
+bound from observed blocking/staleness; this ablation compares it with
+the static grid across load levels.  Success criterion: dynamic stays
+within a modest margin of the *best static age for that load* without
+knowing the load in advance.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster.machine import MachineConfig
+from repro.cluster.node import NodeSpec
+from repro.core.coherence import CoherenceMode
+from repro.experiments.reporting import text_table
+from repro.ga import IslandGaConfig, get_function, run_island_ga, run_serial_ga
+
+LOADS = (0.0, 2e6, 6e6)
+STATIC_AGES = (0, 5, 30)
+
+
+def sweep(seed: int = 5):
+    fn = get_function(1)
+    G, P = 200, 4
+    serial = run_serial_ga(fn, seed=seed, n_generations=G, population_size=50 * P)
+    bar = float(serial.best_history[int(0.6 * G)])
+    st = serial.time_to_target(bar)
+
+    def run(load, age, dynamic=False):
+        r = run_island_ga(
+            IslandGaConfig(
+                fn=fn, n_demes=P, mode=CoherenceMode.NON_STRICT, age=age,
+                dynamic_age=dynamic, n_generations=3 * G, seed=seed, target=bar,
+                machine=MachineConfig(
+                    n_nodes=P, seed=seed, node_spec=NodeSpec(jitter_sigma=0.12)
+                ).with_load(load),
+            )
+        )
+        return st / r.completion_time if r.completion_time else 0.0
+
+    rows = []
+    for load in LOADS:
+        row = {"load_mbps": load / 1e6}
+        for age in STATIC_AGES:
+            row[f"age{age}"] = run(load, age)
+        row["dynamic"] = run(load, 5, dynamic=True)
+        rows.append(row)
+    return rows
+
+
+def test_dynamic_age(benchmark, save_result):
+    rows = run_once(benchmark, sweep)
+    headers = ["load (Mbps)", *[f"age {a}" for a in STATIC_AGES], "dynamic"]
+    save_result(
+        "ablation_dynamic_age",
+        text_table(
+            headers,
+            [
+                [r["load_mbps"], *[r[f"age{a}"] for a in STATIC_AGES], r["dynamic"]]
+                for r in rows
+            ],
+            title="A5 — static age grid vs runtime-adapted age (f1, 4 demes)",
+        ),
+    )
+    for r in rows:
+        best_static = max(r[f"age{a}"] for a in STATIC_AGES)
+        assert r["dynamic"] >= 0.6 * best_static, f"load {r['load_mbps']}"
+        assert r["dynamic"] > 0.0

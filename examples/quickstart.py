@@ -1,0 +1,60 @@
+"""Quickstart: the Global_Read primitive in 60 lines.
+
+Builds a two-node simulated multicomputer (10 Mbps Ethernet + PVM), a
+shared location written by node 0 every iteration, and a reader on node 1
+that is 10x faster than the writer.  ``Global_Read(locn, curr_iter, age)``
+returns a value generated no earlier than iteration ``curr_iter - age``:
+with a small age the fast reader is throttled to the writer's pace (the
+paper's program-level flow control); ``read_local`` (slow-memory read)
+never blocks and returns ever-staler copies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import Machine, MachineConfig
+from repro.core import Dsm, SharedLocationSpec
+from repro.sim import Compute
+
+
+def main() -> None:
+    machine = Machine(MachineConfig(n_nodes=2, seed=42))
+    dsm = Dsm(machine.vm)
+    dsm.register(SharedLocationSpec("temperature", writer=0, readers=(1,), value_nbytes=8))
+
+    N_ITERS = 20
+
+    def writer(node, task):
+        d = dsm.node(0)
+        for i in range(N_ITERS):
+            yield Compute(node.cost(10e-3))  # a slow producer: 10 ms/iter
+            yield from d.write("temperature", 20.0 + i, iter_no=i)
+
+    def reader(node, task):
+        d = dsm.node(1)
+        for i in range(N_ITERS):
+            yield Compute(node.cost(1e-3))  # a fast consumer: 1 ms/iter
+            copy = yield from d.global_read("temperature", curr_iter=i, age=3)
+            print(
+                f"  t={task.vm.kernel.now * 1e3:7.2f} ms  iter={i:2d}  "
+                f"read value={copy.value:<5}  (age {copy.age}, "
+                f"staleness {max(0, i - copy.age)})"
+            )
+
+    machine.spawn_on(0, writer, name="writer")
+    machine.spawn_on(1, reader, name="reader")
+    total = machine.run_to_completion()
+
+    stats = dsm.node(1).gr_stats
+    print(f"\ncompleted in {total * 1e3:.1f} ms of simulated time")
+    print(
+        f"Global_Read: {stats.calls} calls, {stats.hits} served from the local "
+        f"buffer, {stats.blocked} blocked for {stats.block_time * 1e3:.1f} ms total"
+    )
+    print(
+        "the fast reader was throttled to the slow writer's pace - that is "
+        "the paper's receiver-driven flow control"
+    )
+
+
+if __name__ == "__main__":
+    main()

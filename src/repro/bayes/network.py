@@ -1,0 +1,194 @@
+"""Bayesian belief network representation.
+
+A network is a DAG of discrete nodes; each node carries a conditional
+probability table (CPT) over its values given every combination of parent
+values (Figure 1 of the paper shows a five-node example).  The class
+validates acyclicity and CPT shape/normalisation at construction and
+provides the structural statistics Table 2 reports, vectorised ancestral
+sampling for the serial sampler, and the undirected skeleton used by the
+graph partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass
+class BayesNode:
+    """One event node: ``cpt[parent_state_1, ..., parent_state_k, value]``.
+
+    ``cpt`` has one leading axis per parent (in ``parents`` order, sized by
+    that parent's arity) and a trailing axis of size ``n_values`` that sums
+    to 1.  A parentless node's CPT is just its prior (shape
+    ``(n_values,)``).
+    """
+
+    name: int
+    n_values: int
+    parents: tuple[int, ...]
+    cpt: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parents)
+        self.cpt = np.asarray(self.cpt, dtype=np.float64)
+        if self.n_values < 2:
+            raise ValueError(f"node {self.name}: needs >= 2 values")
+        if self.cpt.shape[-1] != self.n_values:
+            raise ValueError(
+                f"node {self.name}: CPT last axis {self.cpt.shape[-1]} != "
+                f"n_values {self.n_values}"
+            )
+        if self.cpt.ndim != len(self.parents) + 1:
+            raise ValueError(
+                f"node {self.name}: CPT rank {self.cpt.ndim} != "
+                f"{len(self.parents)} parents + 1"
+            )
+        if np.any(self.cpt < 0):
+            raise ValueError(f"node {self.name}: negative probability")
+        sums = self.cpt.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ValueError(f"node {self.name}: CPT rows must sum to 1")
+
+
+class BayesianNetwork:
+    """A validated belief network with sampling support."""
+
+    def __init__(self, nodes: list[BayesNode], name: str = "bn") -> None:
+        self.name = name
+        self.nodes: dict[int, BayesNode] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise ValueError(f"duplicate node {node.name}")
+            self.nodes[node.name] = node
+        for node in nodes:
+            for p in node.parents:
+                if p not in self.nodes:
+                    raise ValueError(f"node {node.name}: unknown parent {p}")
+                if self.nodes[p].n_values != node.cpt.shape[node.parents.index(p)]:
+                    raise ValueError(
+                        f"node {node.name}: CPT axis for parent {p} has size "
+                        f"{node.cpt.shape[node.parents.index(p)]} but parent "
+                        f"has {self.nodes[p].n_values} values"
+                    )
+        self._dag = nx.DiGraph()
+        self._dag.add_nodes_from(self.nodes)
+        for node in nodes:
+            for p in node.parents:
+                self._dag.add_edge(p, node.name)
+        if not nx.is_directed_acyclic_graph(self._dag):
+            cycle = nx.find_cycle(self._dag)
+            raise ValueError(f"network contains a cycle: {cycle}")
+        # deterministic topological order: break ties by node name
+        self.topo_order: list[int] = list(
+            nx.lexicographical_topological_sort(self._dag)
+        )
+        # cumulative CPTs for the fast scalar sampling path (parallel
+        # samplers draw one node of one run at a time; a row lookup plus
+        # searchsorted is ~50x cheaper than the batch path for batch=1)
+        self._cum_cpt: dict[int, np.ndarray] = {
+            n.name: n.cpt.cumsum(axis=-1) for n in nodes
+        }
+
+    # -- structure (Table 2's rows) --------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return self._dag.number_of_edges()
+
+    @property
+    def edges_per_node(self) -> float:
+        return self.n_edges / self.n_nodes
+
+    @property
+    def max_values_per_node(self) -> int:
+        return max(n.n_values for n in self.nodes.values())
+
+    def children(self, name: int) -> list[int]:
+        return sorted(self._dag.successors(name))
+
+    def dag(self) -> nx.DiGraph:
+        """The directed graph (copy-safe view)."""
+        return self._dag
+
+    def skeleton(self) -> nx.Graph:
+        """Undirected skeleton, the input to the graph partitioner."""
+        return self._dag.to_undirected()
+
+    def table2_row(self) -> dict:
+        """The structural statistics Table 2 reports for each network."""
+        return {
+            "name": self.name,
+            "nodes": self.n_nodes,
+            "edges_per_node": round(self.edges_per_node, 2),
+            "values_per_node": self.max_values_per_node,
+        }
+
+    # -- sampling ---------------------------------------------------------
+    def sample_node(
+        self, name: int, parent_values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample node ``name`` for a batch given ``(batch, k)`` parent values."""
+        node = self.nodes[name]
+        parent_values = np.atleast_2d(parent_values)
+        if node.parents:
+            probs = node.cpt[tuple(parent_values[:, i] for i in range(len(node.parents)))]
+        else:
+            probs = np.broadcast_to(node.cpt, (parent_values.shape[0], node.n_values))
+        u = rng.random(probs.shape[0])
+        return (probs.cumsum(axis=1) < u[:, None]).sum(axis=1).astype(np.int64)
+
+    def sample_node_scalar(
+        self, name: int, parent_values: tuple, u: float
+    ) -> int:
+        """Sample one node for one run given scalar parent values and a
+        uniform draw ``u`` (the parallel samplers' hot path)."""
+        row = self._cum_cpt[name]
+        if parent_values:
+            row = row[parent_values]
+        return int(np.searchsorted(row, u, side="right"))
+
+    def ancestral_samples(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` full joint samples; returns ``(n, n_nodes)`` indexed by
+        position in a name-sorted node list."""
+        names = sorted(self.nodes)
+        col = {name: i for i, name in enumerate(names)}
+        out = np.empty((n, len(names)), dtype=np.int64)
+        for name in self.topo_order:
+            node = self.nodes[name]
+            if node.parents:
+                pv = out[:, [col[p] for p in node.parents]]
+            else:
+                pv = np.empty((n, 0), dtype=np.int64)
+            out[:, col[name]] = self.sample_node(name, pv, rng)
+        return out
+
+    def prior_marginals(self, n_samples: int = 2000, seed: int = 0) -> dict[int, np.ndarray]:
+        """Monte-Carlo estimate of each node's marginal distribution.
+
+        Used to choose the *default values* of the asynchronous sampler:
+        "The default values for the interface nodes are determined on the
+        basis of the conditional probability distribution of the nodes"
+        (§3.2 — e.g. A defaults to false because p(A=false)=0.80).
+        """
+        rng = np.random.default_rng(seed)
+        samples = self.ancestral_samples(n_samples, rng)
+        names = sorted(self.nodes)
+        out = {}
+        for i, name in enumerate(names):
+            counts = np.bincount(samples[:, i], minlength=self.nodes[name].n_values)
+            out[name] = counts / n_samples
+        return out
+
+    def default_values(self, n_samples: int = 2000, seed: int = 0) -> dict[int, int]:
+        """Modal value of each node's prior marginal (the async gamble)."""
+        return {
+            name: int(np.argmax(marg))
+            for name, marg in self.prior_marginals(n_samples, seed).items()
+        }

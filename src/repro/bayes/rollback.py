@@ -1,0 +1,253 @@
+"""Rollback machinery for asynchronous parallel logic sampling.
+
+§3.2: each processor gambles that an unreceived interface-node value
+equals its *default* (the node's modal prior value).  "When a processor
+receives a value from a node that differs from the default value for that
+node, the value of the child node and the values of all the nodes in the
+network that are dependent on this node and that have already been
+computed must be invalidated and recomputed.  The processor then has to
+*roll back*.  We use standard rollback techniques [2], such as sending
+antimessages, to implement the rollback."
+
+This module holds the two pieces of bookkeeping:
+
+* :class:`ProcessorState` — one processor's optimistic state: its own
+  sampled values per iteration, the actual remote values received so far,
+  the outstanding gambles, and the rollback operation (recompute the
+  affected descendants of a changed input, diff the processor's published
+  interface values, and emit corrections — the anti-message + corrected
+  value pair, fused into one "supersede" message as modern optimistic
+  engines do).
+* :class:`GvtOracle` — the global-virtual-time floor below which no
+  correction can ever arrive, so runs can be *committed* to the
+  estimator.  A real deployment computes this floor with a distributed
+  GVT algorithm [2]; the simulation computes it centrally from the same
+  information (per-processor progress, outstanding gambles, in-flight
+  messages), which is behaviourally equivalent and documented in
+  DESIGN.md as a simulation shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayes.network import BayesianNetwork
+
+
+@dataclass
+class RollbackStats:
+    """Counters reported by the parallel-sampler experiments."""
+
+    gambles: int = 0
+    gamble_hits: int = 0
+    rollbacks: int = 0
+    nodes_resampled: int = 0
+    corrections_sent: int = 0
+    corrections_received: int = 0
+
+    @property
+    def gamble_hit_rate(self) -> float:
+        resolved = self.gamble_hits + self.rollbacks
+        return self.gamble_hits / resolved if resolved else 1.0
+
+    def merge(self, other: "RollbackStats") -> "RollbackStats":
+        return RollbackStats(
+            gambles=self.gambles + other.gambles,
+            gamble_hits=self.gamble_hits + other.gamble_hits,
+            rollbacks=self.rollbacks + other.rollbacks,
+            nodes_resampled=self.nodes_resampled + other.nodes_resampled,
+            corrections_sent=self.corrections_sent + other.corrections_sent,
+            corrections_received=self.corrections_received + other.corrections_received,
+        )
+
+
+class GvtOracle:
+    """Central GVT floor: the largest iteration t such that every run
+    <= t is final everywhere (no unsampled work, no outstanding gamble,
+    no in-flight batch or correction touching it)."""
+
+    def __init__(self, n_procs: int):
+        self.progress = [0] * n_procs  # iterations fully sampled, per proc
+        #: per-proc dict: iteration -> number of unresolved gambles
+        self.pending_gambles: list[dict[int, int]] = [dict() for _ in range(n_procs)]
+        #: in-flight message count per lowest-iteration-it-carries
+        self.in_flight: dict[int, int] = {}
+
+    # -- processor hooks -------------------------------------------------
+    def sampled(self, proc: int, t: int) -> None:
+        self.progress[proc] = max(self.progress[proc], t)
+
+    def gamble_opened(self, proc: int, t: int) -> None:
+        d = self.pending_gambles[proc]
+        d[t] = d.get(t, 0) + 1
+
+    def gamble_resolved(self, proc: int, t: int) -> None:
+        d = self.pending_gambles[proc]
+        d[t] -= 1
+        if d[t] == 0:
+            del d[t]
+
+    def message_sent(self, min_iter: int) -> None:
+        self.in_flight[min_iter] = self.in_flight.get(min_iter, 0) + 1
+
+    def message_applied(self, min_iter: int) -> None:
+        self.in_flight[min_iter] -= 1
+        if self.in_flight[min_iter] == 0:
+            del self.in_flight[min_iter]
+
+    # -- the floor --------------------------------------------------------
+    def floor(self) -> int:
+        """Largest iteration t with every run <= t final everywhere."""
+        f = min(self.progress)
+        for d in self.pending_gambles:
+            if d:
+                f = min(f, min(d) - 1)
+        if self.in_flight:
+            f = min(f, min(self.in_flight) - 1)
+        return f
+
+
+class ProcessorState:
+    """One processor's partition view and optimistic sample store."""
+
+    def __init__(
+        self,
+        net: BayesianNetwork,
+        owner: dict[int, int],
+        proc: int,
+        defaults: dict[int, int],
+    ) -> None:
+        self.net = net
+        self.proc = proc
+        self.defaults = defaults
+        self.own_nodes = [v for v in net.topo_order if owner[v] == proc]
+        self.own_set = set(self.own_nodes)
+        #: remote parents feeding this partition: node -> owning proc
+        self.remote_parents: dict[int, int] = {}
+        for v in self.own_nodes:
+            for u in net.nodes[v].parents:
+                if owner[u] != proc:
+                    self.remote_parents[u] = owner[u]
+        #: own nodes with a child on another processor (published)
+        self.interface_nodes = sorted(
+            v
+            for v in self.own_nodes
+            if any(owner[c] != proc for c in net.children(v))
+        )
+        #: procs that read our interface values
+        self.readers = sorted(
+            {
+                owner[c]
+                for v in self.interface_nodes
+                for c in net.children(v)
+                if owner[c] != proc
+            }
+        )
+        #: procs we depend on
+        self.writers = sorted(set(self.remote_parents.values()))
+        #: descendants of each remote parent within our partition, in
+        #: topological order (the rollback recompute set)
+        self._affected: dict[int, list[int]] = {}
+        dag = net.dag()
+        import networkx as nx
+
+        for u in self.remote_parents:
+            desc = nx.descendants(dag, u) & self.own_set
+            self._affected[u] = [v for v in self.own_nodes if v in desc]
+
+        # optimistic state
+        self.own_values: dict[int, dict[int, int]] = {}  # t -> {node: value}
+        self.remote_values: dict[tuple[int, int], int] = {}  # (node, t) -> value
+        self.gambles: dict[int, dict[int, int]] = {}  # t -> {node: assumed}
+        self.published_upto = -1
+        self.stats = RollbackStats()
+
+    # ------------------------------------------------------------------
+    def input_value(self, u: int, t: int, oracle: GvtOracle) -> int:
+        """Value of remote parent ``u`` for run ``t``: the actual if we
+        have it, else the default (opening a gamble).
+
+        A gamble on ``(u, t)`` is opened (and counted) at most once —
+        re-reading the same missing input during a rollback recompute
+        reuses the already-assumed default, otherwise the oracle's
+        pending-gamble count could never return to zero.
+        """
+        val = self.remote_values.get((u, t))
+        if val is not None:
+            return val
+        g = self.gambles.setdefault(t, {})
+        if u not in g:
+            g[u] = self.defaults[u]
+            self.stats.gambles += 1
+            oracle.gamble_opened(self.proc, t)
+        return g[u]
+
+    def sample_iteration(self, t: int, rng: np.random.Generator, oracle: GvtOracle) -> None:
+        """Sample all own nodes for run ``t`` (optimistically)."""
+        vals: dict[int, int] = {}
+        us = rng.random(len(self.own_nodes))
+        for i, v in enumerate(self.own_nodes):
+            node = self.net.nodes[v]
+            pv = tuple(
+                vals[u] if u in self.own_set else self.input_value(u, t, oracle)
+                for u in node.parents
+            )
+            vals[v] = self.net.sample_node_scalar(v, pv, us[i])
+        self.own_values[t] = vals
+        oracle.sampled(self.proc, t)
+
+    def apply_actual(
+        self, u: int, t: int, value: int, rng: np.random.Generator, oracle: GvtOracle
+    ) -> list[tuple[int, int, int]]:
+        """Fold an actual remote value in; returns corrections to send.
+
+        Corrections are ``(node, t, new_value)`` triples for our own
+        interface nodes whose already-published value for ``t`` changed.
+        """
+        old = self.remote_values.get((u, t))
+        self.remote_values[(u, t)] = value
+        gamble = self.gambles.get(t, {}).pop(u, None)
+        if gamble is not None:
+            oracle.gamble_resolved(self.proc, t)
+            if gamble == value:
+                self.stats.gamble_hits += 1
+                return []
+            self.stats.rollbacks += 1
+            return self._recompute(u, t, rng, oracle)
+        if old is not None and old != value:
+            # a correction superseding an earlier actual: cascade rollback
+            self.stats.rollbacks += 1
+            return self._recompute(u, t, rng, oracle)
+        return []
+
+    def _recompute(
+        self, u: int, t: int, rng: np.random.Generator, oracle: GvtOracle
+    ) -> list[tuple[int, int, int]]:
+        """Resample the descendants of ``u`` for run ``t``; diff publications."""
+        vals = self.own_values.get(t)
+        if vals is None:
+            return []  # not sampled yet; the stored actual will be used
+        affected = self._affected[u]
+        self.stats.nodes_resampled += len(affected)
+        changed: list[tuple[int, int, int]] = []
+        us = rng.random(len(affected))
+        for i, v in enumerate(affected):
+            node = self.net.nodes[v]
+            pv = tuple(
+                vals[p] if p in self.own_set else self.input_value(p, t, oracle)
+                for p in node.parents
+            )
+            new = self.net.sample_node_scalar(v, pv, us[i])
+            if new != vals[v]:
+                vals[v] = new
+                if v in self.interface_nodes and t <= self.published_upto:
+                    changed.append((v, t, new))
+        self.stats.corrections_sent += len(changed)
+        return changed
+
+    def iface_snapshot(self, t: int) -> list[int]:
+        """Interface-node values for run ``t`` in interface order."""
+        vals = self.own_values[t]
+        return [vals[v] for v in self.interface_nodes]

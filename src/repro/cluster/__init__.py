@@ -1,0 +1,20 @@
+"""Multicomputer model: nodes, machine assembly, batch allocation.
+
+Models the paper's platform (§4.1): an IBM SP2 whose nodes hold one
+application process each, connected by a 10 Mbps Ethernet (default) or the
+SP2 high-speed switch, with jobs run under LoadLeveler on dedicated nodes.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.machine import Machine, MachineConfig
+from repro.cluster.loadleveler import Job, JobState, LoadLeveler
+
+__all__ = [
+    "Node",
+    "NodeSpec",
+    "Machine",
+    "MachineConfig",
+    "Job",
+    "JobState",
+    "LoadLeveler",
+]

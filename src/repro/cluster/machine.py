@@ -1,0 +1,146 @@
+"""Machine assembly: kernel + network + PVM + nodes in one object.
+
+:class:`Machine` is the entry point applications and experiments use: it
+wires a simulation kernel, the chosen interconnect, the PVM layer and the
+per-node compute models together, and exposes convenience methods for
+spawning application processes on nodes, attaching background loaders
+(Figure 4) and measuring warp (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator
+
+from repro.cluster.node import Node, NodeSpec
+from repro.network.ethernet import EthernetConfig, EthernetNetwork
+from repro.network.loader import LoaderConfig, NetworkLoader
+from repro.network.switch import SwitchConfig, SwitchNetwork
+from repro.network.warp import WarpMeter
+from repro.pvm.vm import PvmOverheads, Task, VirtualMachine
+from repro.sim.kernel import Kernel
+from repro.sim.process import ProcessHandle
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build a reproducible machine."""
+
+    n_nodes: int = 4
+    seed: int = 0
+    interconnect: str = "ethernet"  # or "switch"
+    ethernet: EthernetConfig = field(default_factory=EthernetConfig)
+    switch: SwitchConfig = field(default_factory=SwitchConfig)
+    pvm_overheads: PvmOverheads = field(default_factory=PvmOverheads)
+    node_spec: NodeSpec = field(default_factory=NodeSpec)
+    #: per-node speed factors (len == n_nodes) overriding node_spec's;
+    #: empty = homogeneous
+    speed_factors: tuple = ()
+    #: offered background loads in bps; each gets its own loader node pair
+    loader_bps: tuple = ()
+    loader_frame_bytes: int = 1024
+    measure_warp: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.interconnect not in ("ethernet", "switch"):
+            raise ValueError(f"unknown interconnect {self.interconnect!r}")
+        if self.speed_factors and len(self.speed_factors) != self.n_nodes:
+            raise ValueError("speed_factors length must equal n_nodes")
+
+    def with_load(self, bps: float) -> "MachineConfig":
+        """Copy of this config with one background loader at ``bps``."""
+        return replace(self, loader_bps=(bps,) if bps > 0 else ())
+
+
+class Machine:
+    """A simulated multicomputer ready to run application processes."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.kernel = Kernel(seed=config.seed)
+        if config.interconnect == "ethernet":
+            self.network = EthernetNetwork(self.kernel, config.ethernet)
+        else:
+            self.network = SwitchNetwork(self.kernel, config.switch)
+        self.vm = VirtualMachine(self.kernel, self.network, config.pvm_overheads)
+        self.nodes: list[Node] = []
+        self.tasks: list[Task] = []
+        for i in range(config.n_nodes):
+            spec = config.node_spec
+            if config.speed_factors:
+                spec = replace(spec, speed_factor=config.speed_factors[i])
+            self.nodes.append(Node(self.kernel, i, spec))
+            self.tasks.append(self.vm.add_task(i))
+        # Loader nodes occupy ids above the application nodes, mirroring
+        # the paper's "two other nodes" running the loader program.
+        self.loaders: list[NetworkLoader] = []
+        next_id = config.n_nodes
+        for k, bps in enumerate(config.loader_bps):
+            loader = NetworkLoader(
+                self.kernel,
+                self.network,
+                LoaderConfig(
+                    offered_load_bps=bps,
+                    frame_payload_bytes=config.loader_frame_bytes,
+                ),
+                src_node=next_id,
+                dst_node=next_id + 1,
+                name=f"loader{k}",
+            )
+            next_id += 2
+            loader.start()
+            self.loaders.append(loader)
+        self.warp: WarpMeter | None = None
+        if config.measure_warp:
+            self.warp = WarpMeter(kinds={"pvm"}).attach(self.network)
+        self._handles: list[ProcessHandle] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def spawn_on(
+        self,
+        node_id: int,
+        make_proc: Callable[[Node, Task], Generator],
+        name: str | None = None,
+    ) -> ProcessHandle:
+        """Spawn ``make_proc(node, task)`` as the process on ``node_id``."""
+        node = self.nodes[node_id]
+        task = self.tasks[node_id]
+        handle = self.kernel.spawn(
+            make_proc(node, task), name=name or f"node{node_id}"
+        )
+        self._handles.append(handle)
+        return handle
+
+    def run_to_completion(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until every spawned application process finishes.
+
+        Returns the completion time (simulated seconds) — the paper's
+        primary metric.  The loaders keep injecting, so we stop on process
+        completion rather than queue drain.
+        """
+        if not self._handles:
+            raise RuntimeError("no application processes spawned")
+        self.kernel.run(
+            stop_when=lambda: all(h.done for h in self._handles),
+            until=until,
+            max_events=max_events,
+        )
+        for h in self._handles:
+            if h.error is not None:  # surfaced via ProcessFailure normally
+                raise h.error
+            if not h.done:
+                from repro.sim.errors import DeadlockError
+
+                raise DeadlockError(
+                    [p.describe_block() for p in self._handles if not p.done]
+                )
+        return self.kernel.now
+
+    def results(self) -> list:
+        return [h.result for h in self._handles]

@@ -1,0 +1,71 @@
+"""Per-node compute model.
+
+Applications express work in *baseline seconds* — the cost of an operation
+on the paper's reference node (a 77 MHz RS/6000-591; serial GA and BN
+costs are calibrated against the paper's reported uniprocessor times, see
+``repro.bayes`` / ``repro.ga`` cost models).  A :class:`Node` converts a
+baseline cost to this node's cost by dividing by its ``speed_factor`` and
+applying multiplicative *jitter*.
+
+Jitter matters: §3.2's "load skew" — a few nodes transiently slower per
+iteration — is one of the things `Global_Read` tolerates and barriers do
+not (a barrier waits for the *max* of the per-node iteration times, which
+grows with the processor count).  We model it as lognormal noise with
+configurable sigma, drawn from the node's own named RNG stream so runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node."""
+
+    name: str = "RS6000-591"
+    clock_hz: float = 77e6
+    #: relative speed vs. the reference node (1.0 = reference)
+    speed_factor: float = 1.0
+    #: sigma of lognormal per-operation compute-time noise (0 = none)
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+
+
+class Node:
+    """A compute node: converts baseline costs into this node's costs."""
+
+    def __init__(self, kernel: Kernel, node_id: int, spec: NodeSpec) -> None:
+        self.kernel = kernel
+        self.node_id = node_id
+        self.spec = spec
+        self._rng = kernel.rng.get(f"node{node_id}.jitter")
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); choose mu so the
+        # mean multiplier is exactly 1 and jitter never biases mean cost.
+        self._mu = -0.5 * spec.jitter_sigma**2
+
+    def cost(self, baseline_seconds: float) -> float:
+        """This node's cost for work that takes ``baseline_seconds`` on the
+        reference node (jittered, mean-preserving)."""
+        if baseline_seconds < 0:
+            raise ValueError("baseline cost must be >= 0")
+        scaled = baseline_seconds / self.spec.speed_factor
+        if self.spec.jitter_sigma == 0.0 or baseline_seconds == 0.0:
+            return scaled
+        mult = float(
+            np.exp(self._mu + self.spec.jitter_sigma * self._rng.standard_normal())
+        )
+        return scaled * mult
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id}, {self.spec.name}, x{self.spec.speed_factor})"

@@ -1,0 +1,115 @@
+"""Runtime verification of the non-strict coherence guarantee.
+
+`Global_Read` induces a memory model very close to *delta consistency*
+(§2.1).  This checker turns the model's obligations into machine-checked
+invariants over an execution trace:
+
+1. **Staleness bound** — every value a ``global_read(locn, curr_iter,
+   age)`` returns was generated at producer iteration ``>= curr_iter -
+   age``.
+2. **No phantom values** — every read returns an age that some write
+   actually produced.
+3. **Monotone reads** — per (reader, location), returned ages never
+   decrease (the age buffer keeps only the newest copy).
+4. **Producer monotonicity** — write ages per location strictly increase.
+
+Attach a checker to a :class:`~repro.core.dsm.Dsm` (``dsm.checker =
+ConsistencyChecker()``) and it observes every operation; ``violations``
+collects anything that breaks an invariant.  The property-based tests
+drive random workloads through the DSM and assert the list stays empty —
+this is the strongest evidence the primitive is implemented correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to debug it."""
+
+    invariant: str
+    locn: str
+    detail: str
+    time: float
+
+
+@dataclass
+class ConsistencyChecker:
+    """Observes DSM operations and accumulates invariant violations."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: per location: set of ages ever written
+    _written_ages: dict[str, set[int]] = field(default_factory=dict)
+    #: per location: largest write age so far
+    _max_write_age: dict[str, int] = field(default_factory=dict)
+    #: per (reader, location): last returned age
+    _last_read_age: dict[tuple[int, str], int] = field(default_factory=dict)
+    reads_checked: int = 0
+    writes_checked: int = 0
+
+    # -- hooks called by the DSM ----------------------------------------
+    def on_write(self, locn: str, age: int, time: float) -> None:
+        self.writes_checked += 1
+        prev = self._max_write_age.get(locn)
+        if prev is not None and age <= prev:
+            self._flag(
+                "producer-monotonicity", locn,
+                f"write age {age} after {prev}", time,
+            )
+        self._max_write_age[locn] = age
+        self._written_ages.setdefault(locn, set()).add(age)
+
+    def on_read(
+        self,
+        reader: int,
+        locn: str,
+        returned_age: int,
+        time: float,
+        curr_iter: int | None = None,
+        age_bound: int | None = None,
+    ) -> None:
+        """Record a read; pass curr_iter/age_bound only for global_reads."""
+        self.reads_checked += 1
+        if curr_iter is not None and age_bound is not None:
+            if returned_age < curr_iter - age_bound:
+                self._flag(
+                    "staleness-bound", locn,
+                    f"reader {reader} at iter {curr_iter} with age {age_bound} "
+                    f"got value of age {returned_age}", time,
+                )
+        if returned_age not in self._written_ages.get(locn, set()):
+            self._flag(
+                "no-phantom-values", locn,
+                f"reader {reader} got age {returned_age}, never written", time,
+            )
+        key = (reader, locn)
+        last = self._last_read_age.get(key)
+        if last is not None and returned_age < last:
+            self._flag(
+                "monotone-reads", locn,
+                f"reader {reader} saw age {returned_age} after {last}", time,
+            )
+        self._last_read_age[key] = returned_age
+
+    def _flag(self, invariant: str, locn: str, detail: str, time: float) -> None:
+        self.violations.append(Violation(invariant, locn, detail, time))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        """Human-readable summary for test failures."""
+        if self.ok:
+            return (
+                f"consistency OK: {self.writes_checked} writes, "
+                f"{self.reads_checked} reads, 0 violations"
+            )
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines += [
+            f"  [{v.invariant}] {v.locn} @ t={v.time:.6f}: {v.detail}"
+            for v in self.violations[:20]
+        ]
+        return "\n".join(lines)

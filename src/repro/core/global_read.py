@@ -1,0 +1,98 @@
+"""Global_Read semantics: the staleness predicate, modes and statistics.
+
+§2: "``Global_Read(locn, curriter, age)`` returns a value of ``locn``
+generated no earlier than in the ``curriter - age``'th iteration of the
+process that is generating successive values of ``locn``.  This implies
+that if the local copy of ``locn`` is older than acceptable, the reading
+process is blocked until an acceptable newer value of ``locn`` becomes
+available.  Alternately, when the local copy is within the age limit
+specified, the Global_Read degenerates to an ordinary read."
+
+The blocking path has two implementations (§2):
+
+* :attr:`GlobalReadMode.WAIT` — "just waits until the required update
+  arrives … will generate fewer messages, and is more efficiently
+  implemented as a user-level library routine."  This is what the paper
+  evaluates and our default.
+* :attr:`GlobalReadMode.REQUEST` — "broadcasts a request for a copy of
+  suitable age" to the writer, answered by the writer's DSM daemon (which
+  defers the reply until it has a satisfying value).  Costs extra messages
+  but delivers the value as soon as it exists; compared in ablation A1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class GlobalReadMode(enum.Enum):
+    """How a blocked ``Global_Read`` obtains its value (§2)."""
+
+    WAIT = "wait"
+    REQUEST = "request"
+
+
+def satisfies_age_bound(copy_age: int | None, curr_iter: int, age: int) -> bool:
+    """The non-strict coherence predicate.
+
+    True iff a copy of age ``copy_age`` may be returned to a reader at
+    iteration ``curr_iter`` with staleness tolerance ``age`` — i.e. the
+    value was generated no earlier than producer iteration
+    ``curr_iter - age``.  ``copy_age is None`` (no copy yet) never
+    satisfies.
+    """
+    if age < 0:
+        raise ValueError(f"age must be >= 0, got {age}")
+    if curr_iter < 0:
+        raise ValueError(f"curr_iter must be >= 0, got {curr_iter}")
+    if copy_age is None:
+        return False
+    return copy_age >= curr_iter - age
+
+
+@dataclass
+class GlobalReadStats:
+    """Per-node counters for `Global_Read` behaviour.
+
+    ``blocked``/``block_time`` quantify the throttling that converts a
+    fully asynchronous program into a partially asynchronous one — the
+    paper's program-level flow control.  ``hits`` counts calls that
+    degenerated to ordinary reads.
+    """
+
+    calls: int = 0
+    hits: int = 0
+    blocked: int = 0
+    block_time: float = 0.0
+    requests_sent: int = 0
+    #: ages (curr_iter - copy_age) observed at satisfaction, for analysis
+    staleness_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record_return(self, curr_iter: int, copy_age: int) -> None:
+        staleness = max(0, curr_iter - copy_age)
+        self.staleness_histogram[staleness] = (
+            self.staleness_histogram.get(staleness, 0) + 1
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+    @property
+    def mean_block_time(self) -> float:
+        return self.block_time / self.blocked if self.blocked else 0.0
+
+    def merge(self, other: "GlobalReadStats") -> "GlobalReadStats":
+        """Aggregate counters across nodes (for experiment reporting)."""
+        out = GlobalReadStats(
+            calls=self.calls + other.calls,
+            hits=self.hits + other.hits,
+            blocked=self.blocked + other.blocked,
+            block_time=self.block_time + other.block_time,
+            requests_sent=self.requests_sent + other.requests_sent,
+        )
+        out.staleness_histogram = dict(self.staleness_histogram)
+        for k, v in other.staleness_histogram.items():
+            out.staleness_histogram[k] = out.staleness_histogram.get(k, 0) + v
+        return out

@@ -1,0 +1,86 @@
+"""Figure 2 — GA speedups on the unloaded network.
+
+For each processor count the paper plots, per variant (synchronous,
+asynchronous, Global_Read at ages 0/5/10/20/30): the speedup over the
+corresponding serial program, for the best case (function 1) and the
+average over the function set; plus the "best partially asynchronous vs
+best competitor" bar (the last white bar of Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale, current_scale
+from repro.experiments.reporting import text_table
+from repro.experiments.speedup import (
+    GaVariant,
+    best_competitor_gain,
+    run_ga_trial,
+    speedups_over_trials,
+)
+
+
+def run_figure2(scale: Scale | None = None) -> list[dict]:
+    """One row per processor count: per-variant speedups for f1 and the
+    all-function average, plus the best-vs-competitor gain."""
+    scale = scale or current_scale()
+    variants = GaVariant.standard_set(scale.ages)
+    labels = [v.label for v in variants]
+    rows = []
+    for P in scale.processor_counts:
+        trials_by_fid = {
+            fid: [
+                run_ga_trial(scale, fid, P, seed=1000 * r + fid, variants=variants)
+                for r in range(scale.ga_runs)
+            ]
+            for fid in scale.ga_functions
+        }
+        best_fid = scale.ga_functions[0]  # function 1 when present
+        best_case = speedups_over_trials(trials_by_fid[best_fid], labels)
+        all_trials = [t for ts in trials_by_fid.values() for t in ts]
+        average = speedups_over_trials(all_trials, labels)
+        best_label, gain = best_competitor_gain(average)
+        best_case_label, best_case_gain = best_competitor_gain(best_case)
+        rows.append(
+            {
+                "P": P,
+                "best_case_fid": best_fid,
+                "best_case": best_case,
+                "average": average,
+                "best_gr": best_label,
+                "gain_over_best_competitor": gain,
+                "best_case_gr": best_case_label,
+                "best_case_gain": best_case_gain,
+            }
+        )
+    return rows
+
+
+def format_figure2(rows: list[dict]) -> str:
+    if not rows:
+        return "Figure 2: no rows"
+    labels = list(rows[0]["average"].keys())
+    out = []
+    for kind in ("best_case", "average"):
+        title = (
+            f"Figure 2 — GA speedups, unloaded network "
+            f"({'best case (f%d)' % rows[0]['best_case_fid'] if kind == 'best_case' else 'average over functions'})"
+        )
+        out.append(
+            text_table(
+                ["P", *labels, "best GR vs best competitor"],
+                [
+                    [
+                        r["P"],
+                        *[r[kind][label] for label in labels],
+                        (
+                            f"{r['best_case_gr']} +{100 * r['best_case_gain']:.0f}%"
+                            if kind == "best_case"
+                            else f"{r['best_gr']} +{100 * r['gain_over_best_competitor']:.0f}%"
+                        ),
+                    ]
+                    for r in rows
+                ],
+                title=title,
+            )
+        )
+    return "\n\n".join(out)

@@ -1,0 +1,105 @@
+"""Figure 3 — Bayesian-network speedups on the unloaded network.
+
+P = 2 (the paper's small networks "did not exhibit enough parallelism to
+be run on larger configurations"); per network {A, AA, C, Hailfinder}
+and per variant: speedup of the parallel sampler over the serial one,
+plus the average row (ratio of summed serial times to summed parallel
+times) and the best-Global_Read-vs-best-competitor gain.
+"""
+
+from __future__ import annotations
+
+from repro.bayes.logic_sampling import run_serial_logic_sampling
+from repro.bayes.parallel import ParallelLsConfig, run_parallel_logic_sampling
+from repro.core.coherence import CoherenceMode
+from repro.experiments.config import Scale, current_scale
+from repro.experiments.reporting import text_table
+from repro.experiments.speedup import best_competitor_gain, machine_for
+from repro.experiments.table2 import pick_query, table2_networks
+
+
+def _variants(scale: Scale) -> list[tuple[str, CoherenceMode, int]]:
+    out = [
+        ("sync", CoherenceMode.SYNCHRONOUS, 0),
+        ("async", CoherenceMode.ASYNCHRONOUS, 0),
+    ]
+    out += [(f"gr{a}", CoherenceMode.NON_STRICT, a) for a in scale.ages]
+    return out
+
+
+def run_figure3(scale: Scale | None = None, n_procs: int = 2) -> list[dict]:
+    scale = scale or current_scale()
+    variants = _variants(scale)
+    rows = []
+    totals: dict[str, float] = {label: 0.0 for label, _, _ in variants}
+    serial_total = 0.0
+    for net_proto in table2_networks():
+        serial_times = []
+        par_times: dict[str, list[float]] = {label: [] for label, _, _ in variants}
+        for r in range(scale.bn_runs):
+            seed = 500 * r + 7
+            query = pick_query(net_proto, seed=0)
+            serial = run_serial_logic_sampling(net_proto, query=query, seed=seed)
+            serial_times.append(serial.sim_time)
+            for label, mode, age in variants:
+                pr = run_parallel_logic_sampling(
+                    ParallelLsConfig(
+                        net=net_proto,
+                        query=query,
+                        n_procs=n_procs,
+                        mode=mode,
+                        age=age,
+                        seed=seed,
+                        machine=machine_for(scale, n_procs, seed),
+                        max_iterations=scale.bn_max_iterations,
+                    )
+                )
+                # a non-converged run is charged the time it spent
+                par_times[label].append(
+                    pr.completion_time
+                    if pr.completion_time is not None
+                    else serial.sim_time * 10.0
+                )
+        serial_sum = sum(serial_times)
+        serial_total += serial_sum
+        speedups = {}
+        for label, _, _ in variants:
+            total = sum(par_times[label])
+            totals[label] += total
+            speedups[label] = serial_sum / total if total else 0.0
+        best_label, gain = best_competitor_gain(speedups)
+        rows.append(
+            {
+                "network": net_proto.name,
+                "speedups": speedups,
+                "best_gr": best_label,
+                "gain_over_best_competitor": gain,
+            }
+        )
+    avg = {label: serial_total / totals[label] for label in totals}
+    best_label, gain = best_competitor_gain(avg)
+    rows.append(
+        {
+            "network": "average",
+            "speedups": avg,
+            "best_gr": best_label,
+            "gain_over_best_competitor": gain,
+        }
+    )
+    return rows
+
+
+def format_figure3(rows: list[dict]) -> str:
+    labels = list(rows[0]["speedups"].keys())
+    return text_table(
+        ["network", *labels, "best GR vs best competitor"],
+        [
+            [
+                r["network"],
+                *[r["speedups"][label] for label in labels],
+                f"{r['best_gr']} +{100 * r['gain_over_best_competitor']:.0f}%",
+            ]
+            for r in rows
+        ],
+        title="Figure 3 — Bayesian-network speedups, 2 processors, unloaded network",
+    )

@@ -1,0 +1,81 @@
+"""Solution-quality metrics (§4.3).
+
+"The number of runs (out of 25) in which the global optimum is found and
+the average fitness of the population at the end of each of the 25 runs
+determines the solution quality."
+
+The paper reports these in its technical-report companion [21]; this
+runner computes them for any variant set, including the paper's
+secondary observation that quality *improves* with more processors
+(total population scales with P, §4.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import Scale, current_scale
+from repro.experiments.reporting import text_table
+from repro.experiments.speedup import GaVariant, machine_for
+from repro.ga.functions import get_function
+from repro.ga.island import IslandGaConfig, run_island_ga
+from repro.ga.sga import run_serial_ga
+
+
+def run_quality(
+    scale: Scale | None = None,
+    fid: int | None = None,
+    processor_counts: tuple[int, ...] | None = None,
+) -> list[dict]:
+    """Per (P, variant): optimum-found count and mean final best fitness."""
+    scale = scale or current_scale()
+    fid = fid or scale.ga_functions[0]
+    fn = get_function(fid)
+    counts = processor_counts or scale.processor_counts
+    variants = GaVariant.standard_set(scale.ages)
+    rows = []
+    for P in counts:
+        for variant in [None, *variants]:  # None = the serial baseline
+            found = 0
+            finals = []
+            for r in range(scale.ga_runs):
+                seed = 1000 * r + fid
+                if variant is None:
+                    s = run_serial_ga(
+                        fn, seed=seed, n_generations=scale.ga_generations,
+                        population_size=50 * P,
+                    )
+                    best = s.best_fitness
+                else:
+                    res = run_island_ga(
+                        IslandGaConfig(
+                            fn=fn, n_demes=P, mode=variant.mode, age=variant.age,
+                            n_generations=scale.ga_generations, seed=seed,
+                            machine=machine_for(scale, P, seed),
+                        )
+                    )
+                    best = res.best_fitness
+                finals.append(best)
+                found += int(best <= fn.optimum_threshold)
+            rows.append(
+                {
+                    "P": P,
+                    "variant": variant.label if variant else "serial",
+                    "optimum_found": found,
+                    "runs": scale.ga_runs,
+                    "mean_final_best": float(np.mean(finals)),
+                }
+            )
+    return rows
+
+
+def format_quality(rows: list[dict], fid: int) -> str:
+    return text_table(
+        ["P", "variant", "optimum found", "runs", "mean final best"],
+        [
+            [r["P"], r["variant"], r["optimum_found"], r["runs"], r["mean_final_best"]]
+            for r in rows
+        ],
+        title=f"Q1 — GA solution quality (f{fid}), §4.3 metrics",
+        float_fmt="{:.4g}",
+    )

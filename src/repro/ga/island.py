@@ -1,0 +1,277 @@
+"""Island-model parallel GA: synchronous, asynchronous and Global_Read.
+
+§3.1/§4.2.1: the population is split into demes, one per node; every
+generation each deme broadcasts its best N/2 individuals to all other
+demes and replaces its worst individuals with arriving migrants.  The
+three implementations differ only in how a deme *obtains* its peers'
+migrants — everything else (operators, costs, RNG streams) is shared, so
+measured differences are attributable to the coherence mode alone:
+
+=================  ====================================================
+SYNCHRONOUS        write migrants → group barrier → ``global_read(g, 0)``
+                   per peer (wait for everyone's generation-g migrants)
+ASYNCHRONOUS       write migrants → ``read_local`` per peer (whatever
+                   copy is present, however stale; never blocks)
+NON_STRICT         write migrants → ``global_read(g, age)`` per peer
+                   (block only if a peer's copy is older than ``age``
+                   generations — the paper's partially asynchronous GA)
+=================  ====================================================
+
+Completion metric (§4.3 / §5.1.1): the simulated time at which any deme's
+best-so-far first reaches the convergence target (the serial baseline's
+final best), measured over a capped number of generations.  The paper
+equivalently runs the asynchronous/controlled versions "for enough
+generations so that the subpopulation converged further than the
+synchronous version".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import Machine, MachineConfig
+from repro.core.coherence import CoherenceMode, UpdatePolicy
+from repro.core.dsm import Dsm
+from repro.core.global_read import GlobalReadStats
+from repro.core.location import SharedLocationSpec
+from repro.ga.costs import GaCostModel
+from repro.ga.encoding import BinaryEncoding
+from repro.ga.fitness_cache import FitnessCache
+from repro.ga.functions import TestFunction, reseed_f4
+from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
+from repro.ga.population import Population
+from repro.sim import Compute
+
+
+@dataclass(frozen=True)
+class IslandGaConfig:
+    """One island-GA run (a single trial of one bar of Figure 2/4)."""
+
+    fn: TestFunction
+    n_demes: int
+    mode: CoherenceMode
+    age: int = 0
+    n_generations: int = 300
+    seed: int = 0
+    params: GaParams = field(default_factory=GaParams)
+    costs: GaCostModel = field(default_factory=GaCostModel)
+    machine: MachineConfig | None = None
+    #: emigrants per generation = migration_fraction * N (paper: N/2)
+    migration_fraction: float = 0.5
+    #: convergence target (serial baseline's final best); None = run all
+    #: generations and only record quality
+    target: float | None = None
+    gray: bool = False
+    #: DSM write-propagation policy (EAGER = the paper's direct sends;
+    #: COALESCE = Mermera-style sender buffering, ablation A3)
+    update_policy: UpdatePolicy = UpdatePolicy.EAGER
+    #: adapt the Global_Read age at runtime (§6 future work); when set,
+    #: ``age`` is the controller's initial value
+    dynamic_age: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_demes < 1:
+            raise ValueError("need at least one deme")
+        if self.age < 0:
+            raise ValueError("age must be >= 0")
+        if not 0.0 < self.migration_fraction <= 1.0:
+            raise ValueError("migration_fraction must be in (0, 1]")
+        if self.mode is CoherenceMode.NON_STRICT and self.age is None:
+            raise ValueError("NON_STRICT requires an age")
+
+
+@dataclass
+class IslandGaResult:
+    """Measurements of one run (the paper's §4.3 metrics)."""
+
+    mode: CoherenceMode
+    age: int
+    n_demes: int
+    fid: int
+    #: simulated time at which the target was first reached (None = never)
+    completion_time: float | None
+    #: simulated time when the run stopped (target hit or all generations)
+    total_time: float
+    #: generation at which the target was reached, per the winning deme
+    generations_to_target: int | None
+    best_fitness: float
+    mean_fitness: float
+    per_deme_best: list[float] = field(default_factory=list)
+    generations_run: list[int] = field(default_factory=list)
+    messages_sent: int = 0
+    mean_warp: float = 0.0
+    max_warp: float = 0.0
+    network_utilization: float = 0.0
+    gr_stats: GlobalReadStats = field(default_factory=GlobalReadStats)
+
+    def found_optimum(self, threshold: float) -> bool:
+        return self.best_fitness <= threshold
+
+
+class _Recorder:
+    """Tracks per-deme progress and the global time-to-target."""
+
+    def __init__(self, target: float | None):
+        self.target = target
+        self.target_time: float | None = None
+        self.target_generation: int | None = None
+        self.best: dict[int, float] = {}
+        self.mean: dict[int, float] = {}
+        self.generations: dict[int, int] = {}
+
+    def report(self, deme: int, gen: int, best: float, mean: float, now: float) -> None:
+        self.best[deme] = min(best, self.best.get(deme, np.inf))
+        self.mean[deme] = mean
+        self.generations[deme] = gen
+        if (
+            self.target is not None
+            and self.target_time is None
+            and best <= self.target
+        ):
+            self.target_time = now
+            self.target_generation = gen
+
+    @property
+    def done(self) -> bool:
+        return self.target is not None and self.target_time is not None
+
+
+def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder):
+    """Build the simulated process for one deme."""
+    fn = cfg.fn
+    enc = BinaryEncoding.for_function(fn, gray=cfg.gray)
+    n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
+    peers = [p for p in range(cfg.n_demes) if p != deme]
+    group = list(range(cfg.n_demes))
+    migrant_nbytes = n_mig * (enc.nbytes + 8)
+
+    def proc(node, task):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=cfg.seed, spawn_key=(fn.fid, deme))
+        )
+        cache = FitnessCache(lambda g: fn(enc.decode(g)), enabled=not fn.noisy)
+        dnode = dsm.node(deme)
+        age_ctl = None
+        if cfg.dynamic_age and cfg.mode is CoherenceMode.NON_STRICT:
+            from repro.core.dynamic_age import DynamicAgeController
+
+            age_ctl = DynamicAgeController(initial_age=cfg.age)
+        genomes = enc.random_population(cfg.params.population_size, rng)
+        pop = Population(genomes, cache(genomes))
+        scaling = ScalingWindow(window=cfg.params.scaling_window)
+        best_so_far = pop.best_fitness
+        yield Compute(
+            node.cost(cfg.costs.generation_cost(fn, pop.size, cache.misses))
+        )
+        recorder.report(deme, 0, best_so_far, pop.mean_fitness, task.vm.kernel.now)
+
+        # generation-0 emigrants so nobody blocks on a missing first copy
+        mg, mf = pop.best_individuals(n_mig)
+        yield from dnode.write(f"migrants.{deme}", (mg, mf), 0, migrant_nbytes)
+
+        for g in range(1, cfg.n_generations + 1):
+            misses_before = cache.misses
+            pop = evolve_one_generation(pop, cfg.params, scaling, cache, rng)
+            yield Compute(
+                node.cost(
+                    cfg.costs.generation_cost(fn, pop.size, cache.misses - misses_before)
+                )
+            )
+            best_so_far = min(best_so_far, pop.best_fitness)
+            recorder.report(deme, g, best_so_far, pop.mean_fitness, task.vm.kernel.now)
+
+            # emigrate this generation's best
+            mg, mf = pop.best_individuals(n_mig)
+            yield from dnode.write(f"migrants.{deme}", (mg, mf), g, migrant_nbytes)
+
+            # immigrate according to the coherence mode
+            if cfg.mode is CoherenceMode.SYNCHRONOUS and cfg.n_demes > 1:
+                yield from task.barrier(group)
+            arrivals: list[tuple[np.ndarray, np.ndarray]] = []
+            for p in peers:
+                locn = f"migrants.{p}"
+                if cfg.mode is CoherenceMode.ASYNCHRONOUS:
+                    copy = yield from dnode.read_local(locn)
+                elif cfg.mode is CoherenceMode.SYNCHRONOUS:
+                    copy = yield from dnode.global_read(locn, g, 0)
+                elif age_ctl is not None:
+                    blocked_before = dnode.gr_stats.blocked
+                    copy = yield from dnode.global_read(locn, g, age_ctl.age)
+                    age_ctl.observe(
+                        dnode.gr_stats.blocked > blocked_before,
+                        max(0, g - copy.age),
+                    )
+                else:
+                    copy = yield from dnode.global_read(locn, g, cfg.age)
+                if copy is not None:
+                    arrivals.append(copy.value)
+            if arrivals:
+                pool_g = np.concatenate([a[0] for a in arrivals], axis=0)
+                pool_f = np.concatenate([a[1] for a in arrivals], axis=0)
+                yield Compute(
+                    node.cost(cfg.costs.incorporate_per_migrant * pool_f.size)
+                )
+                order = np.argsort(pool_f, kind="stable")[:n_mig]
+                pop.replace_worst(pool_g[order], pool_f[order])
+                best_so_far = min(best_so_far, pop.best_fitness)
+                recorder.report(
+                    deme, g, best_so_far, pop.mean_fitness, task.vm.kernel.now
+                )
+        return best_so_far
+
+    return proc
+
+
+def run_island_ga(cfg: IslandGaConfig) -> IslandGaResult:
+    """Execute one island-GA run on a freshly built machine."""
+    mcfg = cfg.machine or MachineConfig(n_nodes=cfg.n_demes, seed=cfg.seed, measure_warp=True)
+    if mcfg.n_nodes != cfg.n_demes:
+        raise ValueError(
+            f"machine has {mcfg.n_nodes} nodes but the run wants {cfg.n_demes} demes"
+        )
+    reseed_f4(cfg.seed * 8 + cfg.fn.fid)
+    machine = Machine(mcfg)
+    dsm = Dsm(machine.vm, update_policy=cfg.update_policy)
+    n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
+    enc = BinaryEncoding.for_function(cfg.fn, gray=cfg.gray)
+    for d in range(cfg.n_demes):
+        readers = tuple(r for r in range(cfg.n_demes) if r != d)
+        dsm.register(
+            SharedLocationSpec(
+                f"migrants.{d}",
+                writer=d,
+                readers=readers,
+                value_nbytes=n_mig * (enc.nbytes + 8),
+            )
+        )
+    recorder = _Recorder(cfg.target)
+    handles = [
+        machine.spawn_on(d, _deme_process(cfg, dsm, d, recorder), name=f"deme{d}")
+        for d in range(cfg.n_demes)
+    ]
+    machine.kernel.run(
+        stop_when=lambda: recorder.done or all(h.done for h in handles)
+    )
+    total_time = machine.kernel.now
+    return IslandGaResult(
+        mode=cfg.mode,
+        age=cfg.age,
+        n_demes=cfg.n_demes,
+        fid=cfg.fn.fid,
+        completion_time=recorder.target_time,
+        total_time=total_time,
+        generations_to_target=recorder.target_generation,
+        best_fitness=min(recorder.best.values()),
+        mean_fitness=float(np.mean(list(recorder.mean.values()))),
+        # a deme that had not reported when the target stopped the
+        # simulation contributes inf/0 (it did no measurable work yet)
+        per_deme_best=[recorder.best.get(d, np.inf) for d in range(cfg.n_demes)],
+        generations_run=[recorder.generations.get(d, 0) for d in range(cfg.n_demes)],
+        messages_sent=machine.vm.total_messages(),
+        mean_warp=machine.warp.mean_warp if machine.warp else 0.0,
+        max_warp=machine.warp.max_warp if machine.warp else 0.0,
+        network_utilization=machine.network.stats.utilization(total_time),
+        gr_stats=dsm.merged_gr_stats(),
+    )

@@ -1,0 +1,146 @@
+"""Generational GA operators with DeJong's parameterisation.
+
+§4.2.1: "Our experiments are limited to a particular class of GAs
+characterized by the following six parameters: population size (N),
+crossover rate (C), mutation rate (M), generation gap (G), scaling window
+(W), selection strategy (S).  Based on DeJong's work, the parameter
+settings which we use in our experiments are: N=50, C=0.6, M=0.001, G=1,
+W=1, and S=E."
+
+* Selection: roulette wheel on scaled fitness.  Minimisation objective
+  ``f`` becomes selection weight ``f_worst - f``, where ``f_worst`` is
+  the worst objective over the last ``W`` generations (the *scaling
+  window*).  W=1 means "the worst of the current generation".
+* Crossover: single-point at rate C over mating pairs.
+* Mutation: independent bit flips at rate M.
+* S=E (elitist): the best individual of generation *t* replaces the worst
+  of generation *t+1* if it did not survive.
+* G=1: full generational replacement (the elitist slot aside).
+
+All operators are numpy-vectorised over the population.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ga.population import Population
+
+
+@dataclass
+class GaParams:
+    """The six DeJong parameters (defaults = the paper's settings)."""
+
+    population_size: int = 50
+    crossover_rate: float = 0.6
+    mutation_rate: float = 0.001
+    generation_gap: float = 1.0
+    scaling_window: int = 1
+    elitist: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.generation_gap != 1.0:
+            raise ValueError("only G=1 (full replacement) is implemented, as in the paper")
+        if self.scaling_window < 1:
+            raise ValueError("scaling_window must be >= 1")
+
+
+@dataclass
+class ScalingWindow:
+    """Tracks the worst objective over the last W generations (W=1 default)."""
+
+    window: int = 1
+    _worsts: deque = field(default_factory=deque)
+
+    def update(self, worst_of_generation: float) -> None:
+        self._worsts.append(float(worst_of_generation))
+        while len(self._worsts) > self.window:
+            self._worsts.popleft()
+
+    @property
+    def scaling_baseline(self) -> float:
+        if not self._worsts:
+            raise ValueError("scaling window is empty; call update() first")
+        return max(self._worsts)
+
+
+def selection_weights(fitness: np.ndarray, baseline: float) -> np.ndarray:
+    """Scaled roulette weights for minimisation: ``baseline - f``, clipped
+    at 0, uniform fallback when the population is flat."""
+    w = np.clip(baseline - fitness, 0.0, None)
+    total = w.sum()
+    if total <= 0.0:
+        return np.full(fitness.shape, 1.0 / fitness.size)
+    return w / total
+
+
+def roulette_select(
+    fitness: np.ndarray, baseline: float, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices of ``n`` parents drawn by fitness-proportionate selection."""
+    return rng.choice(fitness.size, size=n, p=selection_weights(fitness, baseline))
+
+
+def single_point_crossover(
+    parents_a: np.ndarray,
+    parents_b: np.ndarray,
+    rate: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised single-point crossover over paired parent arrays."""
+    a = parents_a.copy()
+    b = parents_b.copy()
+    n, length = a.shape
+    do = rng.random(n) < rate
+    points = rng.integers(1, length, size=n)
+    cols = np.arange(length)
+    swap_mask = do[:, None] & (cols[None, :] >= points[:, None])
+    a[swap_mask], b[swap_mask] = parents_b[swap_mask], parents_a[swap_mask]
+    return a, b
+
+
+def mutate(genomes: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Independent bit flips at ``rate`` (returns a new array)."""
+    flips = rng.random(genomes.shape) < rate
+    return np.bitwise_xor(genomes, flips.astype(np.uint8))
+
+
+def evolve_one_generation(
+    pop: Population,
+    params: GaParams,
+    scaling: ScalingWindow,
+    evaluate,
+    rng: np.random.Generator,
+) -> Population:
+    """One full generational step (select -> crossover -> mutate -> elitism).
+
+    ``evaluate`` maps an (n, L) genome array to (n,) objective values; the
+    caller supplies a fitness-cache-wrapped evaluator so surviving
+    individuals are not re-evaluated (the software-caching optimisation of
+    [19]).
+    """
+    scaling.update(float(pop.fitness.max()))
+    n = params.population_size
+    baseline = scaling.scaling_baseline
+    idx = roulette_select(pop.fitness, baseline, n + (n % 2), rng)
+    pa = pop.genomes[idx[0::2]]
+    pb = pop.genomes[idx[1::2]]
+    ca, cb = single_point_crossover(pa, pb, params.crossover_rate, rng)
+    children = np.concatenate([ca, cb], axis=0)[:n]
+    children = mutate(children, params.mutation_rate, rng)
+    fitness = evaluate(children)
+    new_pop = Population(children, fitness)
+    if params.elitist and pop.best_fitness < new_pop.best_fitness:
+        worst = int(np.argmax(new_pop.fitness))
+        new_pop.genomes[worst] = pop.genomes[pop.best_index]
+        new_pop.fitness[worst] = pop.best_fitness
+    return new_pop

@@ -1,0 +1,90 @@
+"""Population container: chromosomes + fitness with the operations the
+serial and island GAs share (best/worst queries, migrant extraction,
+worst-replacement incorporation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Population:
+    """``genomes``: (N, L) uint8 bits; ``fitness``: (N,) objective values
+    (minimisation — smaller is fitter)."""
+
+    genomes: np.ndarray
+    fitness: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.genomes = np.ascontiguousarray(self.genomes, dtype=np.uint8)
+        self.fitness = np.asarray(self.fitness, dtype=np.float64)
+        if self.genomes.ndim != 2:
+            raise ValueError("genomes must be a 2-D bit array")
+        if self.fitness.shape != (self.genomes.shape[0],):
+            raise ValueError(
+                f"fitness shape {self.fitness.shape} does not match "
+                f"{self.genomes.shape[0]} individuals"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.genomes.shape[0]
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmin(self.fitness))
+
+    @property
+    def best_fitness(self) -> float:
+        return float(self.fitness.min())
+
+    @property
+    def mean_fitness(self) -> float:
+        return float(self.fitness.mean())
+
+    def best_individuals(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` fittest (genomes, fitness), fittest first.
+
+        This is what a deme emigrates: "the best fit N/2 individuals found
+        in each generation" (§4.2.1).
+        """
+        if not 0 < k <= self.size:
+            raise ValueError(f"k must be in 1..{self.size}, got {k}")
+        idx = np.argsort(self.fitness, kind="stable")[:k]
+        return self.genomes[idx].copy(), self.fitness[idx].copy()
+
+    def replace_worst(self, genomes: np.ndarray, fitness: np.ndarray) -> int:
+        """Replace the worst individuals with the incoming migrants.
+
+        "Each processor then replaces the worst individuals in its
+        subpopulation with these migrants" (§4.2.1).  Two guards keep
+        incorporation sane: a migrant only displaces a strictly worse
+        resident, and a migrant identical to a resident chromosome is
+        skipped (installing clones of the global elite every generation
+        would collapse deme diversity — the standard island-GA duplicate
+        check).  Returns the number actually installed.
+        """
+        genomes = np.atleast_2d(genomes)
+        fitness = np.asarray(fitness, dtype=np.float64)
+        if genomes.shape[0] != fitness.shape[0]:
+            raise ValueError("migrant genomes/fitness length mismatch")
+        k = min(genomes.shape[0], self.size)
+        order = np.argsort(fitness, kind="stable")[:k]  # best migrants first
+        worst = np.argsort(self.fitness, kind="stable")[::-1]  # worst residents first
+        resident_keys = {row.tobytes() for row in self.genomes}
+        installed = 0
+        w_iter = iter(worst)
+        for m in order:
+            key = genomes[m].tobytes()
+            if key in resident_keys:
+                continue  # duplicate of a resident: skip
+            w = next(w_iter, None)
+            if w is None or fitness[m] >= self.fitness[w]:
+                break  # no strictly-worse resident left to displace
+            self.genomes[w] = genomes[m]
+            self.fitness[w] = fitness[m]
+            resident_keys.add(key)
+            installed += 1
+        return installed

@@ -1,0 +1,102 @@
+"""Common adapter/network plumbing shared by the link models.
+
+A :class:`Network` owns the set of attached :class:`Adapter` objects.  The
+layer above (PVM) obtains an adapter per node via :meth:`Network.attach`,
+sends frames through it, and receives frames through the deliver callback
+it registered.  Concrete networks implement only the scheduling logic
+(:meth:`Network._enqueue`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.network.frame import BROADCAST, Frame
+from repro.network.stats import LinkStats
+from repro.sim.kernel import Kernel
+from repro.sim.process import Signal
+
+
+class Adapter:
+    """One node's attachment point to a network.
+
+    ``drain_signal`` fires whenever a queued frame starts transmitting;
+    senders implementing backpressure (PVM's blocking send on a full
+    socket buffer) wait on it until :attr:`queue_len` falls below their
+    window.
+    """
+
+    def __init__(
+        self, network: "Network", node_id: int, deliver: Callable[[Frame], None]
+    ) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.deliver = deliver
+        self.queue: deque[Frame] = deque()
+        self.drain_signal = Signal(f"adapter{node_id}.drain")
+        self.frames_received = 0
+
+    def send(self, frame: Frame) -> None:
+        """Hand a frame to the link for (eventual) transmission."""
+        if frame.src != self.node_id:
+            raise ValueError(
+                f"adapter {self.node_id} cannot send frame with src={frame.src}"
+            )
+        self.network._enqueue(self, frame)
+
+    @property
+    def queue_len(self) -> int:
+        """Frames waiting in this adapter's egress queue."""
+        return len(self.queue)
+
+    def _receive(self, frame: Frame) -> None:
+        self.frames_received += 1
+        self.deliver(frame)
+
+
+class Network:
+    """Base class: adapter registry, delivery fan-out, statistics."""
+
+    def __init__(self, kernel: Kernel, name: str = "net") -> None:
+        self.kernel = kernel
+        self.name = name
+        self.adapters: dict[int, Adapter] = {}
+        self.stats = LinkStats()
+        #: observers called as fn(frame) on every delivery (warp meter etc.)
+        self.delivery_observers: list[Callable[[Frame], None]] = []
+
+    def attach(self, node_id: int, deliver: Callable[[Frame], None]) -> Adapter:
+        """Attach a node; ``deliver`` is invoked for each arriving frame."""
+        if node_id in self.adapters:
+            raise ValueError(f"node {node_id} already attached to {self.name}")
+        adapter = Adapter(self, node_id, deliver)
+        self.adapters[node_id] = adapter
+        return adapter
+
+    def observe_deliveries(self, fn: Callable[[Frame], None]) -> None:
+        """Register an observer called with every delivered frame."""
+        self.delivery_observers.append(fn)
+
+    # -- delivery ------------------------------------------------------
+    def _deliver(self, frame: Frame, dst: int) -> None:
+        frame.deliver_time = self.kernel.now
+        self.stats.latency.add(frame.latency)
+        for obs in self.delivery_observers:
+            obs(frame)
+        self.adapters[dst]._receive(frame)
+
+    def _destinations(self, frame: Frame) -> list[int]:
+        if frame.dst == BROADCAST:
+            return [n for n in self.adapters if n != frame.src]
+        if frame.dst not in self.adapters:
+            raise KeyError(f"frame destination {frame.dst} not attached to {self.name}")
+        return [frame.dst]
+
+    # -- to be provided by concrete models ------------------------------
+    def _enqueue(self, adapter: Adapter, frame: Frame) -> None:
+        raise NotImplementedError
+
+    def pending_frames(self) -> int:
+        """Frames queued (not yet fully transmitted) across all adapters."""
+        return sum(len(a.queue) for a in self.adapters.values())

@@ -1,0 +1,73 @@
+"""Link-layer frames.
+
+A frame is the unit the link models schedule; it carries an opaque payload
+for the layer above (PVM fragments) plus the accounting fields the models
+and metrics need.  Payload *size* is explicit rather than derived from the
+Python object so the simulation charges realistic wire time for data whose
+in-simulator representation is tiny (e.g. a numpy scalar standing for a
+packed 8-byte double).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Destination pseudo-address meaning "every attached adapter except the
+#: sender".  On the shared Ethernet a broadcast costs one transmission; on
+#: the switch it is replicated per destination.
+BROADCAST = -1
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One link-layer frame.
+
+    Attributes
+    ----------
+    src, dst:
+        Attached adapter ids; ``dst`` may be :data:`BROADCAST`.
+    size_bytes:
+        Payload size on the wire, before link-level overhead (headers,
+        preamble) which the link model adds itself.
+    payload:
+        Opaque object handed to the destination's deliver callback.
+    kind:
+        Free-form tag ("pvm", "load", ...) used by statistics and tests.
+    enqueue_time / tx_start_time / deliver_time:
+        Filled in by the link model as the frame progresses; used to
+        compute queueing delays and the warp metric.
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    payload: Any = None
+    kind: str = "data"
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    enqueue_time: float = -1.0
+    tx_start_time: float = -1.0
+    deliver_time: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"frame size must be >= 0, got {self.size_bytes}")
+        if self.src == self.dst:
+            raise ValueError(f"frame to self (adapter {self.src}) is not routable")
+
+    @property
+    def queueing_delay(self) -> float:
+        """Seconds spent waiting for the medium (valid after transmission)."""
+        if self.tx_start_time < 0 or self.enqueue_time < 0:
+            raise ValueError("frame has not been transmitted yet")
+        return self.tx_start_time - self.enqueue_time
+
+    @property
+    def latency(self) -> float:
+        """Enqueue-to-delivery latency in seconds (valid after delivery)."""
+        if self.deliver_time < 0 or self.enqueue_time < 0:
+            raise ValueError("frame has not been delivered yet")
+        return self.deliver_time - self.enqueue_time

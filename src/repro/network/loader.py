@@ -1,0 +1,97 @@
+"""Background-traffic generator ("network loader program", §4.3 / §5.2).
+
+The paper generated 0.5, 1 and 2 Mbps of background load with a loader
+program running on two extra SP2 nodes.  This module reproduces it: a
+loader drives a Poisson stream of fixed-size frames from one attached node
+to another, at a configurable offered load.  Poisson arrivals are the
+standard model for uncoordinated background traffic and give the queueing
+behaviour (bursts, contention spikes) that makes the loaded-network
+results interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.base import Network
+from repro.network.frame import Frame
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class LoaderConfig:
+    """Offered load and framing of the background traffic."""
+
+    offered_load_bps: float = 1e6
+    frame_payload_bytes: int = 1024
+    #: loader stops injecting after this simulated time (None = forever)
+    stop_after: float | None = None
+
+    def mean_interarrival(self) -> float:
+        """Mean gap between frame injections for the offered load."""
+        if self.offered_load_bps <= 0:
+            raise ValueError("offered load must be positive")
+        return self.frame_payload_bytes * 8.0 / self.offered_load_bps
+
+
+class NetworkLoader:
+    """Injects Poisson background traffic between two attached nodes.
+
+    The loader owns its two node attachments (they model the paper's two
+    dedicated loader nodes) and simply discards everything delivered to
+    them.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        config: LoaderConfig,
+        src_node: int,
+        dst_node: int,
+        name: str = "loader",
+    ) -> None:
+        if config.offered_load_bps <= 0:
+            raise ValueError("offered load must be positive; omit the loader for 0")
+        self.kernel = kernel
+        self.network = network
+        self.config = config
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.name = name
+        self.frames_injected = 0
+        self.frames_delivered = 0
+        self._rng = kernel.rng.get(f"{name}.arrivals")
+        network.attach(src_node, self._sink)
+        network.attach(dst_node, self._sink)
+        self._running = False
+
+    def _sink(self, frame: Frame) -> None:
+        self.frames_delivered += 1
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin injecting after ``delay`` simulated seconds."""
+        if self._running:
+            raise RuntimeError(f"{self.name} already started")
+        self._running = True
+        self.kernel.schedule(delay + self._next_gap(), self._inject)
+
+    def _next_gap(self) -> float:
+        return float(self._rng.exponential(self.config.mean_interarrival()))
+
+    def _inject(self) -> None:
+        if (
+            self.config.stop_after is not None
+            and self.kernel.now >= self.config.stop_after
+        ):
+            self._running = False
+            return
+        frame = Frame(
+            src=self.src_node,
+            dst=self.dst_node,
+            size_bytes=self.config.frame_payload_bytes,
+            kind="load",
+        )
+        self.network.adapters[self.src_node].send(frame)
+        self.frames_injected += 1
+        self.kernel.schedule(self._next_gap(), self._inject)

@@ -1,0 +1,107 @@
+"""Kernighan–Lin bisection refinement.
+
+The classical pairwise-swap improvement pass: repeatedly compute, for the
+current bisection, the best sequence of (a, b) swaps by greedy D-value
+selection with tentative locking, and commit the prefix of the sequence
+with the largest cumulative gain.  Stops when a pass yields no positive
+gain or ``max_passes`` is reached.
+
+Used both standalone and as the refinement step of the multilevel scheme.
+Runs in O(passes · n² log n) on dense graphs, plenty for the paper's
+54–56-node belief networks (and the property tests keep it honest on
+random graphs up to a few hundred nodes).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.partition.metrics import edge_cut, validate_partition
+
+
+def _d_values(graph: nx.Graph, parts: dict) -> dict:
+    """D(v) = external cost - internal cost for every vertex."""
+    d = {}
+    for v in graph.nodes:
+        internal = external = 0.0
+        for nb, data in graph[v].items():
+            w = data.get("weight", 1.0)
+            if parts[nb] == parts[v]:
+                internal += w
+            else:
+                external += w
+        d[v] = external - internal
+    return d
+
+
+def kl_refine(graph: nx.Graph, parts: dict, max_passes: int = 10) -> dict:
+    """Refine a bisection in place-of (returns a new dict); cut never worsens."""
+    k = validate_partition(graph, parts)
+    if k == 1:
+        return dict(parts)
+    if k != 2:
+        raise ValueError(f"KL refines bisections only, got {k} parts")
+    parts = dict(parts)
+
+    for _ in range(max_passes):
+        d = _d_values(graph, parts)
+        side_a = [v for v in graph.nodes if parts[v] == 0]
+        side_b = [v for v in graph.nodes if parts[v] == 1]
+        locked: set = set()
+        swaps: list[tuple] = []
+        gains: list[float] = []
+        n_pairs = min(len(side_a), len(side_b))
+
+        for _ in range(n_pairs):
+            best = None
+            # greedy best pair among unlocked vertices
+            for a in side_a:
+                if a in locked:
+                    continue
+                for b in side_b:
+                    if b in locked:
+                        continue
+                    w_ab = graph[a][b].get("weight", 1.0) if graph.has_edge(a, b) else 0.0
+                    gain = d[a] + d[b] - 2.0 * w_ab
+                    if best is None or gain > best[0]:
+                        best = (gain, a, b)
+            if best is None:
+                break
+            gain, a, b = best
+            swaps.append((a, b))
+            gains.append(gain)
+            locked.update((a, b))
+            # update D-values as if (a, b) were swapped
+            for v in graph.nodes:
+                if v in locked:
+                    continue
+                w_va = graph[v][a].get("weight", 1.0) if graph.has_edge(v, a) else 0.0
+                w_vb = graph[v][b].get("weight", 1.0) if graph.has_edge(v, b) else 0.0
+                if parts[v] == 0:
+                    d[v] += 2.0 * w_va - 2.0 * w_vb
+                else:
+                    d[v] += 2.0 * w_vb - 2.0 * w_va
+
+        # commit the best prefix
+        best_prefix, best_total = 0, 0.0
+        running = 0.0
+        for i, g in enumerate(gains):
+            running += g
+            if running > best_total:
+                best_total, best_prefix = running, i + 1
+        if best_prefix == 0:
+            break
+        for a, b in swaps[:best_prefix]:
+            parts[a], parts[b] = 1, 0
+    return parts
+
+
+def kl_bisection(graph: nx.Graph, initial: dict | None = None, max_passes: int = 10) -> dict:
+    """Convenience: KL starting from ``initial`` or an even node split."""
+    if initial is None:
+        nodes = sorted(graph.nodes, key=str)
+        half = len(nodes) // 2
+        initial = {v: (0 if i < half else 1) for i, v in enumerate(nodes)}
+    refined = kl_refine(graph, initial, max_passes=max_passes)
+    assert edge_cut(graph, refined) <= edge_cut(graph, initial)
+    return refined

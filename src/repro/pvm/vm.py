@@ -1,0 +1,295 @@
+"""The virtual machine: tasks, fragmentation, mailboxes, barrier.
+
+One :class:`Task` per node (PVM tid == node id here; the paper runs one
+process per SP2 node).  ``send`` fragments messages above the link MTU and
+the receiving side reassembles; messages between a given pair are
+delivered in send order: the link models are FIFO per path, so fragments
+— and therefore reassembled messages from one sender — complete in the
+order they were submitted.
+
+Software overheads
+------------------
+Real PVM spends substantial CPU per message (syscalls, memcpy, UDP
+checksums) — on the paper's 77 MHz nodes roughly a millisecond per small
+message.  Blocking calls here are generators that charge those costs as
+simulated :class:`~repro.sim.process.Compute` time, so the
+communication-to-computation ratio — the quantity the whole paper turns
+on — is modelled at the right order of magnitude.  The constants live in
+:class:`PvmOverheads` and are calibrated by :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable
+
+from repro.network.base import Network
+from repro.network.frame import Frame
+from repro.pvm.message import ANY_SOURCE, ANY_TAG, Message, PackBuffer
+from repro.sim.kernel import Kernel
+from repro.sim.process import Compute, Signal, WaitSignal
+
+#: reserved tag space for layer-internal protocols
+BARRIER_TAG = -1000
+BARRIER_RELEASE_TAG = -1001
+
+
+@dataclass(frozen=True)
+class PvmOverheads:
+    """Per-message software costs, charged as simulated CPU seconds.
+
+    Defaults approximate PVM 3 over UDP on a 77 MHz POWER2 node: ~0.9 ms
+    fixed send cost, ~0.6 ms fixed receive cost, plus per-byte memcpy/
+    checksum costs equivalent to ~15 MB/s.
+    """
+
+    send_fixed: float = 0.9e-3
+    send_per_byte: float = 65e-9
+    #: extra fixed cost per additional mcast destination (buffer reused)
+    mcast_per_dest: float = 0.25e-3
+    recv_fixed: float = 0.6e-3
+    recv_per_byte: float = 65e-9
+    #: per-message protocol header bytes on the wire
+    header_bytes: int = 32
+
+    def send_cost(self, nbytes: int) -> float:
+        return self.send_fixed + self.send_per_byte * nbytes
+
+    def recv_cost(self, nbytes: int) -> float:
+        return self.recv_fixed + self.recv_per_byte * nbytes
+
+
+class Task:
+    """One PVM task: an endpoint with a tagged mailbox.
+
+    All blocking operations (``recv``, ``barrier``) are generators to be
+    driven with ``yield from`` inside a simulated process.  ``send`` is
+    also a generator because it charges CPU overhead before the frames
+    leave the adapter.
+    """
+
+    def __init__(self, vm: "VirtualMachine", tid: int, name: str) -> None:
+        self.vm = vm
+        self.tid = tid
+        self.name = name
+        self.mailbox: list[Message] = []
+        self.mail_signal = Signal(f"{name}.mail")
+        # fragment reassembly: (src, msg_id) -> [received_count, total, msg]
+        self._partial: dict[tuple[int, int], list] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self, dst: int, tag: int, payload: Any, nbytes: int | None = None
+    ) -> Generator:
+        """Send ``payload`` to task ``dst`` under ``tag`` (blocking-submit).
+
+        ``nbytes`` defaults to ``payload.nbytes`` (PackBuffer) and must be
+        given for raw payloads.  Returns after the send overhead has been
+        charged; delivery is asynchronous, as in PVM.
+        """
+        nbytes = self._resolve_nbytes(payload, nbytes)
+        yield Compute(self.vm.overheads.send_cost(nbytes))
+        self._submit(dst, tag, payload, nbytes)
+        yield from self._backpressure()
+
+    def mcast(
+        self, dsts: Iterable[int], tag: int, payload: Any, nbytes: int | None = None
+    ) -> Generator:
+        """Multicast: pack once, unicast to each destination (PVM semantics).
+
+        The paper's island GA uses this to broadcast migrants to every
+        other deme — note the cost grows linearly in the destination count,
+        which is what limits the synchronous GA's scaling past 8 nodes.
+        """
+        dsts = [d for d in dsts if d != self.tid]
+        nbytes = self._resolve_nbytes(payload, nbytes)
+        cost = self.vm.overheads.send_cost(nbytes) + self.vm.overheads.mcast_per_dest * max(
+            0, len(dsts) - 1
+        )
+        yield Compute(cost)
+        for dst in dsts:
+            self._submit(dst, tag, payload, nbytes)
+        yield from self._backpressure()
+
+    def _backpressure(self) -> Generator:
+        """Block until the egress queue drains below the send window.
+
+        Models PVM's blocking ``write()`` on a full UDP socket buffer: a
+        sender on a saturated shared Ethernet cannot generate messages
+        faster than the medium drains them.  This is the transport-level
+        half of the positive-feedback loop §3.1 describes for fully
+        asynchronous GAs — without it an asynchronous program could flood
+        an unbounded queue for free, which no real system allows.
+        """
+        adapter = self.vm.network.adapters.get(self.tid)
+        if adapter is None:
+            return
+        window = self.vm.send_window
+        while adapter.queue_len > window:
+            yield WaitSignal(adapter.drain_signal)
+
+    def _resolve_nbytes(self, payload: Any, nbytes: int | None) -> int:
+        if nbytes is None:
+            if isinstance(payload, PackBuffer):
+                return payload.nbytes
+            raise ValueError("nbytes is required for non-PackBuffer payloads")
+        return nbytes
+
+    def _submit(self, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        if dst not in self.vm.tasks:
+            raise KeyError(f"send to unknown task {dst}")
+        msg = Message(
+            src=self.tid, dst=dst, tag=tag, payload=payload, nbytes=nbytes,
+            send_time=self.vm.kernel.now,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.vm._transmit(msg)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _pop_match(self, src: int, tag: int) -> Message | None:
+        for i, msg in enumerate(self.mailbox):
+            if msg.matches(src, tag):
+                return self.mailbox.pop(i)
+        return None
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the earliest matching message."""
+        while True:
+            msg = self._pop_match(src, tag)
+            if msg is not None:
+                yield Compute(self.vm.overheads.recv_cost(msg.nbytes))
+                self.messages_received += 1
+                if isinstance(msg.payload, PackBuffer):
+                    msg.payload.rewind()
+                return msg
+            yield WaitSignal(self.mail_signal)
+
+    def nrecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message | None:
+        """Non-blocking receive (``pvm_nrecv``): a matching message or None.
+
+        Does not charge receive overhead itself — callers that consume a
+        message should charge :meth:`consume_cost` (the asynchronous
+        applications do this once per drained batch).
+        """
+        msg = self._pop_match(src, tag)
+        if msg is not None:
+            self.messages_received += 1
+            if isinstance(msg.payload, PackBuffer):
+                msg.payload.rewind()
+        return msg
+
+    def consume_cost(self, msg: Message) -> float:
+        """CPU cost a caller should charge for a message taken via nrecv."""
+        return self.vm.overheads.recv_cost(msg.nbytes)
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is waiting (``pvm_probe``)."""
+        return any(m.matches(src, tag) for m in self.mailbox)
+
+    def pending(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> int:
+        """Number of matching messages waiting."""
+        return sum(1 for m in self.mailbox if m.matches(src, tag))
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+    def barrier(self, group: Iterable[int]) -> Generator:
+        """Group barrier: returns when every tid in ``group`` has entered.
+
+        Coordinator-based, as in PVM groups: the lowest tid gathers one
+        message from every other member, then multicasts the release.  The
+        synchronous GA and BN programs pay this cost every generation /
+        sample, which is precisely the overhead `Global_Read` with age 0
+        eliminates (§5, "speedups for Global_Read with age = 0").
+        """
+        members = sorted(set(group))
+        if self.tid not in members:
+            raise ValueError(f"task {self.tid} not in barrier group {members}")
+        if len(members) == 1:
+            return
+        coord = members[0]
+        buf = PackBuffer().pkint(self.tid)
+        if self.tid == coord:
+            for _ in range(len(members) - 1):
+                yield from self.recv(tag=BARRIER_TAG)
+            yield from self.mcast(members[1:], BARRIER_RELEASE_TAG, PackBuffer().pkint(coord))
+        else:
+            yield from self.send(coord, BARRIER_TAG, buf)
+            yield from self.recv(src=coord, tag=BARRIER_RELEASE_TAG)
+
+    # ------------------------------------------------------------------
+    # Frame-level plumbing (called by the VM)
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        msg_id, frag_idx, n_frags, msg = frame.payload
+        if msg.dst != self.tid:
+            return  # broadcast link frame not for this task
+        key = (msg.src, msg_id)
+        entry = self._partial.setdefault(key, [0, n_frags, msg])
+        entry[0] += 1
+        if entry[0] == entry[1]:
+            del self._partial[key]
+            msg.arrival_time = self.vm.kernel.now
+            # insert preserving msg_id order per source => pairwise FIFO
+            self.mailbox.append(msg)
+            self.mail_signal.fire()
+
+
+class VirtualMachine:
+    """The PVM "virtual machine": task registry over one network."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        overheads: PvmOverheads | None = None,
+        send_window: int = 16,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.overheads = overheads or PvmOverheads()
+        #: max egress frames in flight before sends block (socket buffer)
+        self.send_window = send_window
+        self.tasks: dict[int, Task] = {}
+        try:
+            self._mtu = int(network.config.max_payload)  # type: ignore[attr-defined]
+        except AttributeError:
+            self._mtu = 1500
+
+    def add_task(self, node_id: int, name: str | None = None) -> Task:
+        """Create the task living on ``node_id`` and attach it to the net."""
+        if node_id in self.tasks:
+            raise ValueError(f"node {node_id} already has a task")
+        task = Task(self, node_id, name or f"task-{node_id}")
+        self.tasks[node_id] = task
+        self.network.attach(node_id, task._on_frame)
+        return task
+
+    def _transmit(self, msg: Message) -> None:
+        """Fragment a message into MTU-sized frames and hand to the link."""
+        total = msg.nbytes + self.overheads.header_bytes
+        n_frags = max(1, -(-total // self._mtu))  # ceil division
+        remaining = total
+        adapter = self.network.adapters[msg.src]
+        for idx in range(n_frags):
+            size = min(self._mtu, remaining)
+            remaining -= size
+            frame = Frame(
+                src=msg.src,
+                dst=msg.dst,
+                size_bytes=size,
+                payload=(msg.msg_id, idx, n_frags, msg),
+                kind="pvm",
+            )
+            adapter.send(frame)
+
+    def total_messages(self) -> int:
+        return sum(t.messages_sent for t in self.tasks.values())

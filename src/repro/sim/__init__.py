@@ -1,0 +1,72 @@
+"""Deterministic discrete-event simulation kernel.
+
+All "parallel" execution in this reproduction runs on this kernel: each
+simulated process is a Python generator that yields *requests*
+(:class:`~repro.sim.process.Compute`, :class:`~repro.sim.process.WaitSignal`,
+...) to the kernel, which resumes it when the requested condition is met.
+Simulated time is completely decoupled from wall-clock time, which is what
+makes latency-sensitive results reproducible in Python (see DESIGN.md §2).
+
+Typical usage::
+
+    from repro.sim import Kernel, Compute, Signal, WaitSignal
+
+    kernel = Kernel(seed=42)
+
+    def producer(sig):
+        yield Compute(1.0)          # burn 1 simulated second
+        sig.fire()
+
+    def consumer(sig):
+        yield WaitSignal(sig)       # blocks until producer fires
+        return kernel.now           # -> 1.0
+
+    sig = Signal("ready")
+    kernel.spawn(producer(sig), name="producer")
+    handle = kernel.spawn(consumer(sig), name="consumer")
+    kernel.run()
+    assert handle.result == 1.0
+"""
+
+from repro.sim.errors import (
+    SimError,
+    DeadlockError,
+    SimulationLimitError,
+    ProcessFailure,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import (
+    Compute,
+    Yield,
+    WaitSignal,
+    WaitAny,
+    Join,
+    Signal,
+    ProcessHandle,
+    ProcessState,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry, stream_seed
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = [
+    "SimError",
+    "DeadlockError",
+    "SimulationLimitError",
+    "ProcessFailure",
+    "Event",
+    "EventQueue",
+    "Compute",
+    "Yield",
+    "WaitSignal",
+    "WaitAny",
+    "Join",
+    "Signal",
+    "ProcessHandle",
+    "ProcessState",
+    "Kernel",
+    "RngRegistry",
+    "stream_seed",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every failure mode the kernel can hit maps to a distinct exception type so
+tests can assert on the *reason* a simulation stopped, not just that it did.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    In this reproduction a deadlock almost always means a coherence-protocol
+    bug: a reader blocked in ``Global_Read`` whose producer will never write
+    again.  The exception message lists every parked process and what it is
+    waiting on, which makes such bugs directly debuggable from the test
+    failure output.
+    """
+
+    def __init__(self, parked: list[str]):
+        self.parked = list(parked)
+        detail = ", ".join(parked) if parked else "<none>"
+        super().__init__(
+            f"event queue empty with {len(self.parked)} blocked process(es): {detail}"
+        )
+
+
+class SimulationLimitError(SimError):
+    """Raised when a run exceeds its event-count or simulated-time budget.
+
+    Budgets guard against accidental livelock (e.g. a fully asynchronous GA
+    flooding a saturated network and never converging); hitting one is a
+    result worth reporting, not a crash.
+    """
+
+    def __init__(self, kind: str, limit: float, now: float, events: int):
+        self.kind = kind
+        self.limit = limit
+        self.now = now
+        self.events = events
+        super().__init__(
+            f"simulation exceeded {kind} limit ({limit!r}) at t={now:.6f}s "
+            f"after {events} events"
+        )
+
+
+class ProcessFailure(SimError):
+    """Wraps an exception raised inside a simulated process.
+
+    The kernel stops the whole run on the first process failure (simulated
+    nodes do not silently die in the paper's experiments) and re-raises the
+    original traceback chained under this error.
+    """
+
+    def __init__(self, proc_name: str, original: BaseException):
+        self.proc_name = proc_name
+        self.original = original
+        super().__init__(f"process {proc_name!r} failed: {original!r}")

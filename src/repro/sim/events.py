@@ -1,0 +1,123 @@
+"""Event representation and the time-ordered event queue.
+
+The queue is a binary heap keyed by ``(time, priority, seq)``.  The
+monotonically increasing ``seq`` component makes ordering *total* and
+therefore deterministic: two events scheduled for the same instant always
+pop in the order they were scheduled, independent of hash seeds or dict
+ordering.  Determinism of this queue is the foundation of every regression
+test in the repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+#: Default priority for ordinary events.  Lower values pop first among
+#: events scheduled for the same simulated instant.
+PRIORITY_NORMAL = 0
+
+#: Priority used by the kernel for process resumptions that should happen
+#: "immediately after" the current event (e.g. ``Yield``).
+PRIORITY_LATE = 10
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (seconds) at which the event fires.
+    priority:
+        Tie-breaker among events at the same time; lower fires first.
+    seq:
+        Monotone sequence number assigned by the queue; final tie-breaker.
+    fn:
+        Zero-or-more-argument callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``fn``.
+    cancelled:
+        Lazily-deleted flag; cancelled events stay in the heap but are
+        skipped on pop (cheaper than heap surgery).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any]
+    args: tuple = field(default_factory=tuple)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+    # Heap ordering — compare only on the key triple.
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time``; returns the event.
+
+        ``time`` must not be NaN; scheduling in the past is a programming
+        error and raises ``ValueError`` at push time rather than corrupting
+        the heap invariant later.
+        """
+        if time != time:  # NaN check without importing math
+            raise ValueError("event time is NaN")
+        ev = Event(time=time, priority=priority, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not ev.cancelled:
+            ev.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Event | None:
+        """Pop and return the earliest live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without popping, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

@@ -1,0 +1,264 @@
+"""The discrete-event kernel: clock, scheduler and process stepping.
+
+One :class:`Kernel` instance owns the simulated clock, the event queue, the
+process table and the root RNG registry.  Everything else in the repository
+(network, PVM, DSM, applications) is built as plain objects that schedule
+callbacks and park/wake processes through the kernel.
+
+Design notes
+------------
+* **Determinism.**  The event queue is totally ordered (see
+  :mod:`repro.sim.events`); signal wakeups preserve FIFO arrival order; all
+  randomness flows through :class:`repro.sim.rng.RngRegistry` streams.  Two
+  runs with identical seeds produce bit-identical traces.
+* **Failure model.**  An exception inside any process aborts the run with
+  :class:`~repro.sim.errors.ProcessFailure`; the paper's experiments assume
+  dedicated, reliable nodes, so partial failure is out of scope.
+* **Budgets.**  ``run()`` accepts simulated-time and event-count limits so
+  that livelocked configurations (a flooding asynchronous GA on a saturated
+  network) terminate with :class:`~repro.sim.errors.SimulationLimitError`
+  instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.errors import DeadlockError, ProcessFailure, SimulationLimitError
+from repro.sim.events import Event, EventQueue, PRIORITY_LATE, PRIORITY_NORMAL
+from repro.sim.process import (
+    Compute,
+    Join,
+    ProcessHandle,
+    ProcessState,
+    Signal,
+    WaitAny,
+    WaitSignal,
+    Yield,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class Kernel:
+    """Deterministic discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the :class:`RngRegistry`; every named stream derives
+        from it.
+    tracer:
+        Optional :class:`Tracer` collecting per-event records (used by the
+        warp metric and by debugging tests).
+    """
+
+    def __init__(self, seed: int = 0, tracer: Tracer | None = None) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.tracer = tracer
+        self._pids = itertools.count()
+        self.processes: list[ProcessHandle] = []
+        self._events_executed = 0
+        self._failure: ProcessFailure | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        return self.queue.push(self.now + delay, fn, args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at t={time!r} < now={self.now!r}")
+        return self.queue.push(time, fn, args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str | None = None) -> ProcessHandle:
+        """Register a generator as a simulated process; it starts when the
+        simulation reaches the current instant's queue position."""
+        handle = ProcessHandle(
+            name=name or f"proc-{len(self.processes)}",
+            gen=gen,
+            pid=next(self._pids),
+            _kernel=self,
+        )
+        self.processes.append(handle)
+        self.schedule(0.0, self._step, handle, None)
+        return handle
+
+    def _wake_from_signal(self, handle: ProcessHandle, signal: Signal) -> None:
+        """Internal: called by :meth:`Signal.fire` for each parked waiter."""
+        if handle.state is not ProcessState.BLOCKED:
+            return  # already woken by another signal in a WaitAny set
+        # Detach from every signal in the (possibly WaitAny) parked set.
+        for s in handle._parked_on:
+            if s is not signal and handle in s._waiters:
+                s._waiters.remove(handle)
+        handle._parked_on = ()
+        handle.state = ProcessState.READY
+        self.schedule(0.0, self._step, handle, signal)
+
+    def _finish(self, handle: ProcessHandle, result: Any) -> None:
+        handle.state = ProcessState.DONE
+        handle.result = result
+        joiners, handle._joiners = handle._joiners, []
+        for j in joiners:
+            j.state = ProcessState.READY
+            self.schedule(0.0, self._step, j, result)
+
+    def _step(self, handle: ProcessHandle, send_value: Any) -> None:
+        """Advance one process by one yield."""
+        if handle.done:
+            return
+        handle.state = ProcessState.RUNNING
+        try:
+            request = handle.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(handle, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberately broad
+            handle.state = ProcessState.FAILED
+            handle.error = exc
+            self._failure = ProcessFailure(handle.name, exc)
+            return
+        self._dispatch(handle, request)
+
+    def _dispatch(self, handle: ProcessHandle, request: Any) -> None:
+        """Act on a request yielded by a process."""
+        if isinstance(request, Compute):
+            handle.state = ProcessState.COMPUTING
+            handle.busy_time += request.seconds
+            self.schedule(request.seconds, self._step, handle, request.seconds)
+        elif isinstance(request, WaitSignal):
+            handle.state = ProcessState.BLOCKED
+            handle._parked_on = (request.signal,)
+            request.signal._waiters.append(handle)
+        elif isinstance(request, WaitAny):
+            handle.state = ProcessState.BLOCKED
+            handle._parked_on = request.signals
+            for s in request.signals:
+                s._waiters.append(handle)
+        elif isinstance(request, Yield):
+            handle.state = ProcessState.READY
+            self.schedule(0.0, self._step, handle, None, priority=PRIORITY_LATE)
+        elif isinstance(request, Join):
+            target = request.handle
+            if target.done:
+                self.schedule(0.0, self._step, handle, target.result)
+            else:
+                handle.state = ProcessState.BLOCKED
+                handle._parked_on = ()
+                target._joiners.append(handle)
+        else:
+            raise TypeError(
+                f"process {handle.name!r} yielded unsupported request {request!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run until the queue drains or a limit/stop condition triggers.
+
+        Parameters
+        ----------
+        until:
+            Simulated-time budget; exceeding it raises
+            :class:`SimulationLimitError`.
+        max_events:
+            Event-count budget; same failure mode.
+        stop_when:
+            Optional predicate checked after every event; a True return
+            stops the run cleanly (used for "run until converged").
+
+        Raises
+        ------
+        DeadlockError
+            If the queue drains while processes are still blocked.
+        ProcessFailure
+            If any process raised; the original exception is chained.
+        """
+        while True:
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise failure from failure.original
+            if stop_when is not None and stop_when():
+                return
+            ev = self.queue.pop()
+            if ev is None:
+                self._check_deadlock()
+                return
+            if until is not None and ev.time > until:
+                raise SimulationLimitError(
+                    "simulated-time", until, self.now, self._events_executed
+                )
+            if max_events is not None and self._events_executed >= max_events:
+                raise SimulationLimitError(
+                    "event-count", max_events, self.now, self._events_executed
+                )
+            assert ev.time >= self.now, "event queue violated time order"
+            self.now = ev.time
+            self._events_executed += 1
+            if self.tracer is not None:
+                self.tracer.record(self.now, ev)
+            ev.fn(*ev.args)
+
+    def run_until_done(self, handles: Iterable[ProcessHandle], **kw: Any) -> None:
+        """Run until every handle in ``handles`` has terminated."""
+        targets = list(handles)
+        self.run(stop_when=lambda: all(h.done for h in targets), **kw)
+        for h in targets:
+            if not h.done:  # queue drained before completion
+                self._check_deadlock()
+                raise DeadlockError([h.describe_block() for h in targets if not h.done])
+
+    def _check_deadlock(self) -> None:
+        parked = [
+            p.describe_block()
+            for p in self.processes
+            if p.state is ProcessState.BLOCKED
+        ]
+        if parked:
+            raise DeadlockError(parked)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def stats(self) -> dict:
+        """Summary counters, handy for benchmark output."""
+        return {
+            "now": self.now,
+            "events_executed": self._events_executed,
+            "processes": len(self.processes),
+            "pending_events": len(self.queue),
+        }

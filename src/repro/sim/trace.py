@@ -1,0 +1,54 @@
+"""Lightweight event tracing.
+
+The tracer records ``(time, label)`` pairs for executed kernel events and
+arbitrary application marks.  It exists for three consumers:
+
+* determinism regression tests (two runs with the same seed must produce
+  identical traces),
+* the warp network-load metric, which needs send/arrival timestamps,
+* ad-hoc debugging of protocol interleavings.
+
+Recording is O(1) per event and can be bounded with ``max_records`` so a
+long benchmark run does not accumulate unbounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: the instant and a human-readable label."""
+
+    time: float
+    label: str
+
+
+class Tracer:
+    """Append-only trace of kernel events and application marks."""
+
+    def __init__(self, max_records: int | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    def record(self, time: float, event: Any) -> None:
+        """Called by the kernel for every executed event."""
+        fn = event.fn
+        label = getattr(fn, "__qualname__", getattr(fn, "__name__", repr(fn)))
+        self.mark(time, label)
+
+    def mark(self, time: float, label: str) -> None:
+        """Record an application-level mark."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, label))
+
+    def labels(self) -> list[str]:
+        return [r.label for r in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,158 @@
+"""Parallel logic sampling: correctness of all three modes + rollback."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import make_hailfinder, make_random_network
+from repro.bayes.parallel import ParallelLsConfig, run_parallel_logic_sampling
+from repro.bayes.logic_sampling import run_serial_logic_sampling
+from repro.bayes.rollback import GvtOracle, RollbackStats
+from repro.core.coherence import CoherenceMode
+
+
+def small_net(seed=1):
+    return make_random_network(16, 22, seed=seed, name="small")
+
+
+def run_mode(net, mode, age=10, seed=3, **kw):
+    q = max(net.nodes)
+    return run_parallel_logic_sampling(
+        ParallelLsConfig(
+            net=net, query=q, n_procs=2, mode=mode, age=age, seed=seed,
+            max_iterations=kw.pop("max_iterations", 30_000), **kw,
+        )
+    )
+
+
+class TestCorrectness:
+    """All three modes must estimate the same posterior as the serial
+    sampler — the paper's premise that data races affect performance,
+    never correctness."""
+
+    @pytest.mark.parametrize(
+        "mode,age",
+        [
+            (CoherenceMode.SYNCHRONOUS, 0),
+            (CoherenceMode.ASYNCHRONOUS, 0),
+            (CoherenceMode.NON_STRICT, 0),
+            (CoherenceMode.NON_STRICT, 10),
+        ],
+    )
+    def test_posterior_matches_serial(self, mode, age):
+        net = small_net()
+        q = max(net.nodes)
+        serial = run_serial_logic_sampling(net, query=q, seed=3)
+        r = run_mode(net, mode, age=age)
+        assert r.converged
+        # both estimates carry +-0.01 CIs at 90%: allow 3x the precision
+        assert np.all(np.abs(r.posterior - serial.posterior) < 0.03)
+
+    def test_sync_never_gambles(self):
+        r = run_mode(small_net(), CoherenceMode.SYNCHRONOUS, age=0)
+        assert r.rollback.gambles == 0
+        assert r.rollback.rollbacks == 0
+
+    def test_async_gambles_and_rolls_back(self):
+        r = run_mode(small_net(), CoherenceMode.ASYNCHRONOUS)
+        assert r.rollback.gambles > 0
+        assert 0.0 < r.rollback.gamble_hit_rate < 1.0
+
+    def test_committed_runs_close_to_serial_run_count(self):
+        net = small_net()
+        q = max(net.nodes)
+        serial = run_serial_logic_sampling(net, query=q, seed=3)
+        r = run_mode(net, CoherenceMode.NON_STRICT, age=10)
+        assert r.committed_runs == pytest.approx(serial.n_runs, rel=0.25)
+
+
+class TestThrottling:
+    def test_global_read_bounds_progress_skew(self):
+        """With age k no processor may be more than ~k+batch runs ahead."""
+        net = small_net()
+        r = run_mode(net, CoherenceMode.NON_STRICT, age=5)
+        spread = max(r.iterations_sampled) - min(r.iterations_sampled)
+        assert spread <= 5 + 5 + 2  # age + batch + in-flight slack
+
+    def test_global_read_reduces_messages_via_batching(self):
+        net = small_net()
+        r_async = run_mode(net, CoherenceMode.ASYNCHRONOUS)
+        r_gr = run_mode(net, CoherenceMode.NON_STRICT, age=10)
+        assert r_gr.messages_sent < r_async.messages_sent / 2
+
+    def test_sync_is_slowest_on_network(self):
+        net = small_net()
+        t_sync = run_mode(net, CoherenceMode.SYNCHRONOUS, age=0).completion_time
+        t_gr = run_mode(net, CoherenceMode.NON_STRICT, age=10).completion_time
+        assert t_gr < t_sync
+
+    def test_skewed_network_has_high_hit_rate(self):
+        hf = make_hailfinder()
+        r = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=hf, query=55, n_procs=2, mode=CoherenceMode.ASYNCHRONOUS,
+                seed=3, max_iterations=30_000,
+            )
+        )
+        assert r.rollback.gamble_hit_rate > 0.8
+
+    def test_edge_cut_reported(self):
+        r = run_mode(small_net(), CoherenceMode.NON_STRICT)
+        assert r.edge_cut > 0
+
+
+class TestValidation:
+    def test_config_validation(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            ParallelLsConfig(net=net, query=0, n_procs=0)
+        with pytest.raises(ValueError):
+            ParallelLsConfig(net=net, query=0, age=-1)
+        with pytest.raises(KeyError):
+            ParallelLsConfig(net=net, query=999)
+
+    def test_single_processor_degenerates_to_serial_like(self):
+        net = small_net()
+        r = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=net, query=max(net.nodes), n_procs=1,
+                mode=CoherenceMode.ASYNCHRONOUS, seed=3,
+            )
+        )
+        assert r.converged
+        assert r.rollback.gambles == 0  # no remote parents at all
+        assert r.edge_cut == 0
+
+
+class TestOracle:
+    def test_floor_tracks_min_progress(self):
+        o = GvtOracle(2)
+        o.sampled(0, 5)
+        o.sampled(1, 3)
+        assert o.floor() == 3
+
+    def test_pending_gamble_holds_floor(self):
+        o = GvtOracle(2)
+        o.sampled(0, 10)
+        o.sampled(1, 10)
+        o.gamble_opened(0, 4)
+        assert o.floor() == 3
+        o.gamble_resolved(0, 4)
+        assert o.floor() == 10
+
+    def test_in_flight_message_holds_floor(self):
+        o = GvtOracle(1)
+        o.sampled(0, 8)
+        o.message_sent(2)
+        assert o.floor() == 1
+        o.message_applied(2)
+        assert o.floor() == 8
+
+    def test_rollback_stats_merge(self):
+        a = RollbackStats(gambles=3, gamble_hits=2, rollbacks=1, corrections_sent=4)
+        b = RollbackStats(gambles=1, gamble_hits=1)
+        m = a.merge(b)
+        assert m.gambles == 4 and m.gamble_hits == 3 and m.corrections_sent == 4
+        assert m.gamble_hit_rate == pytest.approx(3 / 4)
+
+    def test_hit_rate_empty_is_one(self):
+        assert RollbackStats().gamble_hit_rate == 1.0

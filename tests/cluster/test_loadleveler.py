@@ -1,0 +1,84 @@
+"""LoadLeveler batch allocator: FIFO, dedication, release, backfill."""
+
+import pytest
+
+from repro.cluster import Job, JobState, LoadLeveler
+
+
+def test_job_starts_when_nodes_free():
+    ll = LoadLeveler(8)
+    job = ll.submit(Job(nodes_requested=4))
+    assert job.state is JobState.RUNNING
+    assert len(job.allocated) == 4
+
+
+def test_allocations_are_dedicated_disjoint():
+    ll = LoadLeveler(8)
+    j1 = ll.submit(Job(nodes_requested=4))
+    j2 = ll.submit(Job(nodes_requested=4))
+    assert set(j1.allocated).isdisjoint(j2.allocated)
+    assert len(ll.free) == 0
+
+
+def test_fifo_blocks_behind_large_head_job():
+    ll = LoadLeveler(8)
+    ll.submit(Job(nodes_requested=6))
+    big = ll.submit(Job(nodes_requested=4))  # cannot fit
+    small = ll.submit(Job(nodes_requested=1))  # could fit, but FIFO
+    assert big.state is JobState.QUEUED
+    assert small.state is JobState.QUEUED
+
+
+def test_backfill_lets_small_job_through():
+    ll = LoadLeveler(8, backfill=True)
+    ll.submit(Job(nodes_requested=6))
+    big = ll.submit(Job(nodes_requested=4))
+    small = ll.submit(Job(nodes_requested=2))
+    assert big.state is JobState.QUEUED
+    assert small.state is JobState.RUNNING
+
+
+def test_release_starts_next_job():
+    ll = LoadLeveler(4)
+    j1 = ll.submit(Job(nodes_requested=4))
+    j2 = ll.submit(Job(nodes_requested=4))
+    assert j2.state is JobState.QUEUED
+    ll.release(j1)
+    assert j1.state is JobState.DONE
+    assert j2.state is JobState.RUNNING
+
+
+def test_oversized_job_rejected():
+    ll = LoadLeveler(4)
+    with pytest.raises(ValueError):
+        ll.submit(Job(nodes_requested=5))
+
+
+def test_double_submit_rejected():
+    ll = LoadLeveler(4)
+    j = ll.submit(Job(nodes_requested=1))
+    with pytest.raises(ValueError):
+        ll.submit(j)
+
+
+def test_release_requires_running():
+    ll = LoadLeveler(4)
+    j = Job(nodes_requested=1)
+    with pytest.raises(ValueError):
+        ll.release(j)
+
+
+def test_paper_figure4_allocation_shape():
+    """§5.2: 4 application nodes + 2 loader nodes on a 6-node pool."""
+    ll = LoadLeveler(6)
+    app = ll.submit(Job(nodes_requested=4, name="ga"))
+    loader = ll.submit(Job(nodes_requested=2, name="loader"))
+    assert app.state is JobState.RUNNING and loader.state is JobState.RUNNING
+    assert set(app.allocated) | set(loader.allocated) == set(range(6))
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        Job(nodes_requested=0)
+    with pytest.raises(ValueError):
+        LoadLeveler(0)

@@ -1,0 +1,86 @@
+"""Dynamic age adaptation (§6 future work): controller + end-to-end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_age import DynamicAgeController
+
+
+class TestController:
+    def test_blocking_raises_age_additively(self):
+        c = DynamicAgeController(initial_age=4, window=2, increase_step=3)
+        c.observe(blocked=True, staleness=0)
+        assert c.age == 4  # mid-window: unchanged
+        c.observe(blocked=False, staleness=0)
+        assert c.age == 7
+
+    def test_slack_lowers_age_multiplicatively(self):
+        c = DynamicAgeController(initial_age=16, window=2, decrease_factor=0.5, slack=2)
+        for _ in range(2):
+            c.observe(blocked=False, staleness=1)  # 16 - 1 >= slack
+        assert c.age == 8
+
+    def test_borderline_staleness_keeps_age(self):
+        c = DynamicAgeController(initial_age=6, window=2, slack=2)
+        for _ in range(2):
+            c.observe(blocked=False, staleness=5)  # within slack of the bound
+        assert c.age == 6
+
+    def test_clamped_to_bounds(self):
+        c = DynamicAgeController(initial_age=59, max_age=60, window=1, increase_step=5)
+        c.observe(blocked=True, staleness=0)
+        assert c.age == 60
+        c2 = DynamicAgeController(initial_age=1, min_age=0, window=1)
+        c2.observe(blocked=False, staleness=0)
+        c2.observe(blocked=False, staleness=0)
+        assert c2.age >= 0
+
+    def test_adjustments_logged(self):
+        c = DynamicAgeController(initial_age=4, window=1)
+        c.observe(blocked=True, staleness=0)
+        assert c.adjustments == [(4, 6)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicAgeController(initial_age=99, max_age=10)
+        with pytest.raises(ValueError):
+            DynamicAgeController(window=0)
+        with pytest.raises(ValueError):
+            DynamicAgeController(decrease_factor=1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=100)),
+            max_size=200,
+        )
+    )
+    def test_property_age_always_in_bounds(self, events):
+        c = DynamicAgeController(initial_age=10, min_age=0, max_age=40)
+        for blocked, staleness in events:
+            age = c.observe(blocked, staleness)
+            assert 0 <= age <= 40
+
+
+class TestEndToEnd:
+    def test_dynamic_age_island_ga_runs_and_adapts(self):
+        from repro.cluster import MachineConfig
+        from repro.core.coherence import CoherenceMode
+        from repro.ga import IslandGaConfig, get_function, run_island_ga
+
+        r = run_island_ga(
+            IslandGaConfig(
+                fn=get_function(1),
+                n_demes=4,
+                mode=CoherenceMode.NON_STRICT,
+                age=5,
+                dynamic_age=True,
+                n_generations=50,
+                seed=8,
+                machine=MachineConfig(n_nodes=4, seed=8).with_load(6e6),
+            )
+        )
+        assert r.generations_run == [50] * 4
+        # under heavy load the bound must stay satisfied throughout
+        assert r.gr_stats.calls == 4 * 3 * 50

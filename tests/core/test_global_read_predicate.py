@@ -1,0 +1,95 @@
+"""The staleness predicate and Global_Read statistics, incl. property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import GlobalReadStats, satisfies_age_bound
+
+
+class TestPredicate:
+    def test_exact_boundary_satisfies(self):
+        # value from iteration curr-age is the oldest acceptable one
+        assert satisfies_age_bound(copy_age=5, curr_iter=10, age=5)
+
+    def test_one_older_than_boundary_fails(self):
+        assert not satisfies_age_bound(copy_age=4, curr_iter=10, age=5)
+
+    def test_age_zero_requires_current_iteration(self):
+        assert satisfies_age_bound(copy_age=10, curr_iter=10, age=0)
+        assert not satisfies_age_bound(copy_age=9, curr_iter=10, age=0)
+
+    def test_future_value_satisfies(self):
+        # the producer may be ahead of the reader; newer is always fine
+        assert satisfies_age_bound(copy_age=20, curr_iter=10, age=0)
+
+    def test_missing_copy_never_satisfies(self):
+        assert not satisfies_age_bound(None, curr_iter=0, age=100)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            satisfies_age_bound(0, curr_iter=1, age=-1)
+        with pytest.raises(ValueError):
+            satisfies_age_bound(0, curr_iter=-1, age=1)
+
+    def test_early_iterations_always_satisfied_with_large_age(self):
+        # curr_iter - age < 0: any existing copy qualifies
+        assert satisfies_age_bound(copy_age=0, curr_iter=3, age=10)
+
+    @given(
+        copy_age=st.integers(min_value=0, max_value=10**6),
+        curr_iter=st.integers(min_value=0, max_value=10**6),
+        age=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_monotone_in_age(self, copy_age, curr_iter, age):
+        """Loosening the bound can only turn unsatisfied into satisfied."""
+        if satisfies_age_bound(copy_age, curr_iter, age):
+            assert satisfies_age_bound(copy_age, curr_iter, age + 1)
+
+    @given(
+        copy_age=st.integers(min_value=0, max_value=10**6),
+        curr_iter=st.integers(min_value=0, max_value=10**6),
+        age=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_monotone_in_copy_age(self, copy_age, curr_iter, age):
+        """A strictly fresher copy never breaks a satisfied bound."""
+        if satisfies_age_bound(copy_age, curr_iter, age):
+            assert satisfies_age_bound(copy_age + 1, curr_iter, age)
+
+    @given(
+        copy_age=st.integers(min_value=0, max_value=10**6),
+        curr_iter=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_age_zero_equals_at_least_current(self, copy_age, curr_iter):
+        assert satisfies_age_bound(copy_age, curr_iter, 0) == (copy_age >= curr_iter)
+
+
+class TestStats:
+    def test_hit_rate_and_block_means(self):
+        s = GlobalReadStats(calls=10, hits=7, blocked=3, block_time=0.6)
+        assert s.hit_rate == pytest.approx(0.7)
+        assert s.mean_block_time == pytest.approx(0.2)
+
+    def test_zero_division_guards(self):
+        s = GlobalReadStats()
+        assert s.hit_rate == 0.0
+        assert s.mean_block_time == 0.0
+
+    def test_staleness_histogram_records(self):
+        s = GlobalReadStats()
+        s.record_return(curr_iter=10, copy_age=8)
+        s.record_return(curr_iter=10, copy_age=8)
+        s.record_return(curr_iter=10, copy_age=12)  # future value -> 0
+        assert s.staleness_histogram == {2: 2, 0: 1}
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = GlobalReadStats(calls=2, hits=1, blocked=1, block_time=0.5, requests_sent=1)
+        a.staleness_histogram = {0: 1, 2: 1}
+        b = GlobalReadStats(calls=3, hits=3)
+        b.staleness_histogram = {2: 2}
+        m = a.merge(b)
+        assert m.calls == 5 and m.hits == 4 and m.blocked == 1
+        assert m.block_time == 0.5 and m.requests_sent == 1
+        assert m.staleness_histogram == {0: 1, 2: 3}
+        # merge must not mutate inputs
+        assert a.staleness_histogram == {0: 1, 2: 1}

@@ -1,0 +1,154 @@
+"""Ethernet model: serialization, contention, broadcast, statistics."""
+
+import pytest
+
+from repro.network import BROADCAST, EthernetConfig, EthernetNetwork, Frame
+from repro.sim import Kernel
+
+
+def make_net(n_nodes=4, seed=0, config=None):
+    kernel = Kernel(seed=seed)
+    net = EthernetNetwork(kernel, config=config)
+    inboxes = {i: [] for i in range(n_nodes)}
+    for i in range(n_nodes):
+        net.attach(i, inboxes[i].append)
+    return kernel, net, inboxes
+
+
+def test_single_frame_latency_matches_model():
+    kernel, net, inboxes = make_net()
+    cfg = net.config
+    frame = Frame(src=0, dst=1, size_bytes=1000)
+    net.adapters[0].send(frame)
+    kernel.run()
+    assert inboxes[1] == [frame]
+    expected = cfg.ifg + cfg.tx_time(1000) + cfg.prop_delay
+    assert frame.deliver_time == pytest.approx(expected)
+
+
+def test_tx_time_min_frame_padding():
+    cfg = EthernetConfig()
+    # payloads below the 46-byte minimum are padded on the wire
+    assert cfg.tx_time(1) == cfg.tx_time(46)
+    assert cfg.tx_time(47) > cfg.tx_time(46)
+
+
+def test_tx_time_10mbps_scale():
+    cfg = EthernetConfig()
+    # 1000 B payload + 26 B overhead = 8208 bits / 10 Mbps = 820.8 us
+    assert cfg.tx_time(1000) == pytest.approx(8208e-7)
+
+
+def test_mtu_enforced():
+    kernel, net, _ = make_net()
+    with pytest.raises(ValueError):
+        net.adapters[0].send(Frame(src=0, dst=1, size_bytes=2000))
+    with pytest.raises(ValueError):
+        EthernetConfig().tx_time(1501)
+
+
+def test_frames_serialize_on_shared_medium():
+    """Two frames from different senders must not overlap in time."""
+    kernel, net, inboxes = make_net()
+    f1 = Frame(src=0, dst=2, size_bytes=1500)
+    f2 = Frame(src=1, dst=3, size_bytes=1500)
+    net.adapters[0].send(f1)
+    net.adapters[1].send(f2)
+    kernel.run()
+    first, second = sorted([f1, f2], key=lambda f: f.tx_start_time)
+    tx = net.config.tx_time(1500)
+    assert second.tx_start_time >= first.tx_start_time + tx
+    assert net.stats.contended_acquisitions >= 1
+
+
+def test_queueing_delay_grows_with_backlog():
+    kernel, net, _ = make_net()
+    frames = [Frame(src=0, dst=1, size_bytes=1500) for _ in range(10)]
+    for f in frames:
+        net.adapters[0].send(f)
+    kernel.run()
+    delays = [f.queueing_delay for f in frames]
+    assert delays == sorted(delays)
+    assert delays[-1] > delays[0]
+
+
+def test_broadcast_delivered_to_all_others_single_transmission():
+    kernel, net, inboxes = make_net(n_nodes=5)
+    frame = Frame(src=2, dst=BROADCAST, size_bytes=100)
+    net.adapters[2].send(frame)
+    kernel.run()
+    for i in range(5):
+        if i == 2:
+            assert inboxes[i] == []
+        else:
+            assert inboxes[i] == [frame]
+    assert net.stats.frames_sent == 1
+    assert net.stats.broadcasts == 1
+
+
+def test_round_robin_fairness_under_contention():
+    """With all nodes continuously backlogged, each node gets medium turns."""
+    kernel, net, inboxes = make_net(n_nodes=4, seed=1)
+    order = []
+    net.observe_deliveries(lambda f: order.append(f.src))
+    for node in range(4):
+        for _ in range(5):
+            if node != 3:
+                net.adapters[node].send(Frame(src=node, dst=3, size_bytes=1500))
+            else:
+                net.adapters[node].send(Frame(src=3, dst=0, size_bytes=1500))
+    kernel.run()
+    # every sender transmitted all its frames
+    assert sorted(set(order)) == [0, 1, 2, 3]
+    # no sender monopolised the first 8 slots
+    assert len(set(order[:8])) >= 3
+
+
+def test_utilization_and_counters():
+    kernel, net, _ = make_net()
+    for _ in range(3):
+        net.adapters[0].send(Frame(src=0, dst=1, size_bytes=1000))
+    kernel.run()
+    s = net.stats
+    assert s.frames_sent == 3
+    assert s.bytes_sent == 3000
+    assert s.wire_bytes_sent == 3 * 1026
+    assert 0 < s.utilization(kernel.now) <= 1.0
+
+
+def test_deterministic_across_runs():
+    def run_once():
+        kernel, net, _ = make_net(n_nodes=4, seed=99)
+        times = []
+        net.observe_deliveries(lambda f: times.append((f.frame_id, f.deliver_time)))
+        for node in range(3):
+            for _ in range(4):
+                net.adapters[node].send(Frame(src=node, dst=3, size_bytes=700))
+        kernel.run()
+        return [t for _, t in times]
+
+    assert run_once() == run_once()
+
+
+def test_frame_to_self_rejected():
+    with pytest.raises(ValueError):
+        Frame(src=1, dst=1, size_bytes=10)
+
+
+def test_send_through_wrong_adapter_rejected():
+    kernel, net, _ = make_net()
+    with pytest.raises(ValueError):
+        net.adapters[0].send(Frame(src=1, dst=2, size_bytes=10))
+
+
+def test_unknown_destination_raises():
+    kernel, net, _ = make_net(n_nodes=2)
+    net.adapters[0].send(Frame(src=0, dst=77, size_bytes=10))
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_duplicate_attach_rejected():
+    kernel, net, _ = make_net(n_nodes=2)
+    with pytest.raises(ValueError):
+        net.attach(0, lambda f: None)

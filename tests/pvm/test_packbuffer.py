@@ -1,0 +1,70 @@
+"""PackBuffer: typed packing, sizes, unpack ordering and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.pvm import PackBuffer
+
+
+def test_pack_unpack_roundtrip_in_order():
+    buf = PackBuffer()
+    buf.pkint([1, 2, 3]).pkdouble([0.5, 1.5]).pkstr("hello")
+    assert np.array_equal(buf.upkint(), [1, 2, 3])
+    assert np.array_equal(buf.upkdouble(), [0.5, 1.5])
+    assert buf.upkstr() == "hello"
+    assert buf.exhausted
+
+
+def test_nbytes_accounting():
+    buf = PackBuffer()
+    buf.pkint([1, 2, 3])        # 12
+    buf.pkdouble([0.5, 1.5])    # 16
+    buf.pkbyte(b"abc")          # 3
+    buf.pkstr("hi")             # 3 (2 + NUL)
+    assert buf.nbytes == 12 + 16 + 3 + 3
+
+
+def test_scalar_pack_becomes_length_one_array():
+    buf = PackBuffer()
+    buf.pkint(7).pkdouble(2.5)
+    assert buf.upkint().tolist() == [7]
+    assert buf.upkdouble().tolist() == [2.5]
+
+
+def test_type_mismatch_raises():
+    buf = PackBuffer().pkint([1])
+    with pytest.raises(TypeError, match="type mismatch"):
+        buf.upkdouble()
+
+
+def test_unpack_past_end_raises():
+    buf = PackBuffer().pkint([1])
+    buf.upkint()
+    with pytest.raises(IndexError):
+        buf.upkint()
+
+
+def test_rewind_allows_rereading():
+    buf = PackBuffer().pkint([4, 5])
+    first = buf.upkint()
+    buf.rewind()
+    assert np.array_equal(buf.upkint(), first)
+
+
+def test_pkbyte_roundtrip():
+    buf = PackBuffer().pkbyte(b"\x00\xff\x7f")
+    assert bytes(buf.upkbyte()) == b"\x00\xff\x7f"
+
+
+def test_empty_buffer_is_exhausted_and_zero_bytes():
+    buf = PackBuffer()
+    assert buf.nbytes == 0
+    assert buf.exhausted
+
+
+def test_packed_arrays_are_copies():
+    """Mutating the source after packing must not change the message."""
+    src = np.array([1, 2, 3])
+    buf = PackBuffer().pkint(src)
+    src[0] = 99
+    assert buf.upkint()[0] == 1

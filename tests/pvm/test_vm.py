@@ -1,0 +1,308 @@
+"""VirtualMachine/Task: send/recv semantics, fragmentation, barrier, mcast."""
+
+import numpy as np
+import pytest
+
+from repro.network import EthernetConfig, EthernetNetwork, SwitchNetwork
+from repro.pvm import ANY_SOURCE, ANY_TAG, PackBuffer, PvmOverheads, VirtualMachine
+from repro.sim import DeadlockError, Kernel
+
+
+def make_vm(n=4, seed=0, network_cls=EthernetNetwork, overheads=None):
+    kernel = Kernel(seed=seed)
+    net = network_cls(kernel)
+    vm = VirtualMachine(kernel, net, overheads=overheads)
+    tasks = [vm.add_task(i) for i in range(n)]
+    return kernel, vm, tasks
+
+
+def test_send_recv_roundtrip():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    got = {}
+
+    def sender():
+        yield from t0.send(1, tag=7, payload=PackBuffer().pkdouble([3.14]))
+
+    def receiver():
+        msg = yield from t1.recv(src=0, tag=7)
+        got["value"] = float(msg.payload.upkdouble()[0])
+        got["latency"] = msg.latency
+
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert got["value"] == 3.14
+    assert got["latency"] > 0
+
+
+def test_recv_blocks_until_message_arrives():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    times = {}
+
+    def sender():
+        from repro.sim import Compute
+
+        yield Compute(2.0)
+        yield from t0.send(1, tag=1, payload=PackBuffer().pkint(1))
+
+    def receiver():
+        yield from t1.recv()
+        times["recv_done"] = kernel.now
+
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert times["recv_done"] > 2.0
+
+
+def test_pairwise_fifo_order():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    got = []
+
+    def sender():
+        for i in range(10):
+            yield from t0.send(1, tag=5, payload=PackBuffer().pkint(i))
+
+    def receiver():
+        for _ in range(10):
+            msg = yield from t1.recv(src=0, tag=5)
+            got.append(int(msg.payload.upkint()[0]))
+
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert got == list(range(10))
+
+
+def test_tag_and_source_filtering():
+    kernel, vm, (t0, t1, t2, _) = make_vm()
+    got = []
+
+    def s0():
+        yield from t0.send(2, tag=1, payload=PackBuffer().pkint(10))
+
+    def s1():
+        yield from t1.send(2, tag=2, payload=PackBuffer().pkint(20))
+
+    def receiver():
+        m = yield from t2.recv(src=1, tag=ANY_TAG)
+        got.append(int(m.payload.upkint()[0]))
+        m = yield from t2.recv(src=ANY_SOURCE, tag=1)
+        got.append(int(m.payload.upkint()[0]))
+
+    kernel.spawn(s0())
+    kernel.spawn(s1())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert got == [20, 10]
+
+
+def test_nrecv_nonblocking():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    results = []
+
+    def receiver():
+        results.append(t1.nrecv())  # nothing yet
+        msg = yield from t1.recv()
+        results.append(msg)
+
+    def sender():
+        yield from t0.send(1, tag=3, payload=PackBuffer().pkint(5))
+
+    kernel.spawn(receiver())
+    kernel.spawn(sender())
+    kernel.run()
+    assert results[0] is None
+    assert results[1] is not None
+
+
+def test_probe_and_pending():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    seen = {}
+
+    def sender():
+        for _ in range(3):
+            yield from t0.send(1, tag=9, payload=PackBuffer().pkint(0))
+
+    def checker():
+        from repro.sim import Compute
+
+        yield Compute(1.0)  # let everything arrive
+        seen["probe"] = t1.probe(tag=9)
+        seen["pending"] = t1.pending(tag=9)
+        seen["probe_other"] = t1.probe(tag=99)
+
+    kernel.spawn(sender())
+    kernel.spawn(checker())
+    kernel.run()
+    assert seen["probe"] is True
+    assert seen["pending"] == 3
+    assert seen["probe_other"] is False
+
+
+def test_large_message_fragments_and_reassembles():
+    kernel, vm, (t0, t1, *_) = make_vm()
+    payload = PackBuffer().pkdouble(np.arange(1000.0))  # 8000 B > 1500 MTU
+    got = {}
+
+    def sender():
+        yield from t0.send(1, tag=1, payload=payload)
+
+    def receiver():
+        msg = yield from t1.recv()
+        got["data"] = msg.payload.upkdouble()
+
+    frames_before = vm.network.stats.frames_sent
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert np.array_equal(got["data"], np.arange(1000.0))
+    n_frames = vm.network.stats.frames_sent - frames_before
+    assert n_frames == -(-(8000 + vm.overheads.header_bytes) // 1500)
+
+
+def test_send_overhead_charged_as_compute():
+    ov = PvmOverheads(send_fixed=1e-3, send_per_byte=0.0)
+    kernel, vm, (t0, t1, *_) = make_vm(overheads=ov)
+
+    def sender():
+        yield from t0.send(1, tag=1, payload=PackBuffer().pkint(1))
+
+    h = kernel.spawn(sender())
+    kernel.spawn(iter_recv(t1))
+    kernel.run()
+    assert h.busy_time == pytest.approx(1e-3)
+
+
+def iter_recv(task, n=1):
+    def proc():
+        for _ in range(n):
+            yield from task.recv()
+
+    return proc()
+
+
+def test_mcast_reaches_all_destinations_not_self():
+    kernel, vm, tasks = make_vm(n=4)
+    got = {i: [] for i in range(4)}
+
+    def sender():
+        yield from tasks[0].mcast([0, 1, 2, 3], tag=4, payload=PackBuffer().pkint(1))
+
+    def receiver(i):
+        msg = yield from tasks[i].recv(tag=4)
+        got[i].append(msg.src)
+
+    kernel.spawn(sender())
+    for i in (1, 2, 3):
+        kernel.spawn(receiver(i))
+    kernel.run()
+    assert got[0] == [] and all(got[i] == [0] for i in (1, 2, 3))
+
+
+def test_barrier_synchronizes_entry_times():
+    kernel, vm, tasks = make_vm(n=4)
+    release_times = {}
+
+    def member(i):
+        from repro.sim import Compute
+
+        yield Compute(float(i))  # staggered arrival: 0,1,2,3 s
+        yield from tasks[i].barrier(range(4))
+        release_times[i] = kernel.now
+
+    for i in range(4):
+        kernel.spawn(member(i))
+    kernel.run()
+    # nobody may leave before the last member (t=3.0) arrived
+    assert min(release_times.values()) >= 3.0
+    # and release is prompt (well under one second after)
+    assert max(release_times.values()) < 3.2
+
+
+def test_barrier_single_member_is_noop():
+    kernel, vm, tasks = make_vm(n=1)
+
+    def member():
+        yield from tasks[0].barrier([0])
+        return "out"
+
+    h = kernel.spawn(member())
+    kernel.run()
+    assert h.result == "out"
+
+
+def test_barrier_nonmember_rejected():
+    kernel, vm, tasks = make_vm(n=2)
+
+    def member():
+        yield from tasks[0].barrier([1])
+
+    kernel.spawn(member())
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_recv_deadlock_detected_when_no_sender():
+    kernel, vm, (t0, *_) = make_vm()
+
+    def receiver():
+        yield from t0.recv()
+
+    kernel.spawn(receiver(), name="lonely")
+    with pytest.raises(DeadlockError):
+        kernel.run()
+
+
+def test_send_to_unknown_task_raises():
+    kernel, vm, (t0, *_) = make_vm(n=2)
+
+    def sender():
+        yield from t0.send(42, tag=0, payload=PackBuffer().pkint(1))
+
+    kernel.spawn(sender())
+    with pytest.raises(Exception):
+        kernel.run()
+
+
+def test_works_over_switch_network_too():
+    kernel, vm, (t0, t1, *_) = make_vm(network_cls=SwitchNetwork)
+    got = {}
+
+    def sender():
+        yield from t0.send(1, tag=1, payload=PackBuffer().pkdouble(np.arange(3000.0)))
+
+    def receiver():
+        msg = yield from t1.recv()
+        got["n"] = msg.payload.upkdouble().size
+
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert got["n"] == 3000
+
+
+def test_duplicate_task_rejected():
+    kernel, vm, _ = make_vm(n=2)
+    with pytest.raises(ValueError):
+        vm.add_task(0)
+
+
+def test_message_counters():
+    kernel, vm, (t0, t1, *_) = make_vm()
+
+    def sender():
+        for _ in range(4):
+            yield from t0.send(1, tag=1, payload=PackBuffer().pkint(1))
+
+    def receiver():
+        for _ in range(4):
+            yield from t1.recv()
+
+    kernel.spawn(sender())
+    kernel.spawn(receiver())
+    kernel.run()
+    assert t0.messages_sent == 4
+    assert t1.messages_received == 4
+    assert vm.total_messages() == 4
+    assert t0.bytes_sent == 16

@@ -1,0 +1,97 @@
+"""Unit tests for the event queue: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, PRIORITY_LATE, PRIORITY_NORMAL
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_pops_in_push_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(1.0, order.append, (i,))
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_seq():
+    q = EventQueue()
+    order = []
+    q.push(1.0, order.append, ("late",), priority=PRIORITY_LATE)
+    q.push(1.0, order.append, ("normal",), priority=PRIORITY_NORMAL)
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert order == ["normal", "late"]
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    fired = []
+    ev = q.push(1.0, fired.append, ("x",))
+    q.push(2.0, fired.append, ("y",))
+    q.cancel(ev)
+    assert len(q) == 1
+    while (e := q.pop()) is not None:
+        e.fn(*e.args)
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_len_counts_only_live_events():
+    q = EventQueue()
+    evs = [q.push(float(i), lambda: None) for i in range(5)]
+    assert len(q) == 5
+    q.cancel(evs[2])
+    assert len(q) == 4
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(ev)
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.cancel(ev)
+    assert q.peek_time() is None
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_event_cancel_method_marks_flag():
+    ev = Event(time=0.0, priority=0, seq=0, fn=lambda: None)
+    assert not ev.cancelled
+    ev.cancel()
+    assert ev.cancelled
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None

@@ -1,0 +1,55 @@
+"""Tracer behaviour and whole-run determinism regression."""
+
+from repro.sim import Compute, Kernel, Signal, Tracer, WaitSignal
+
+
+def _workload(kernel):
+    sig = Signal("ready")
+
+    def producer():
+        for _ in range(5):
+            yield Compute(0.25)
+            sig.fire()
+
+    def consumer():
+        for _ in range(5):
+            yield WaitSignal(sig)
+
+    kernel.spawn(producer(), name="p")
+    kernel.spawn(consumer(), name="c")
+
+
+def test_tracer_records_events():
+    tracer = Tracer()
+    k = Kernel(seed=0, tracer=tracer)
+    _workload(k)
+    k.run()
+    assert len(tracer) > 0
+    assert all(r.time >= 0 for r in tracer.records)
+
+
+def test_identical_seeds_produce_identical_traces():
+    traces = []
+    for _ in range(2):
+        tracer = Tracer()
+        k = Kernel(seed=123, tracer=tracer)
+        _workload(k)
+        k.run()
+        traces.append([(r.time, r.label) for r in tracer.records])
+    assert traces[0] == traces[1]
+
+
+def test_max_records_bounds_memory():
+    tracer = Tracer(max_records=3)
+    k = Kernel(seed=0, tracer=tracer)
+    _workload(k)
+    k.run()
+    assert len(tracer) == 3
+    assert tracer.dropped > 0
+
+
+def test_mark_appends_custom_label():
+    tracer = Tracer()
+    tracer.mark(1.5, "custom")
+    assert tracer.labels() == ["custom"]
+    assert tracer.records[0].time == 1.5
