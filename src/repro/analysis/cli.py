@@ -1,0 +1,199 @@
+"""``python -m repro.analysis`` — lint, race classification, reports.
+
+Subcommands and exit codes (CI-friendly throughout):
+
+``lint [paths...] [--json] [--select RPR001,...]``
+    0 = clean, 1 = findings, 2 = unreadable/unparsable input.
+
+``races --mode {sync,async,gr} [...] [--fail-on WHAT]``
+    Runs one instrumented island-GA config and prints the classifier
+    summary.  ``--fail-on`` picks the gate: ``violations`` (default —
+    any broken consistency invariant), ``unbounded`` (additionally any
+    unbounded race), ``any-race`` or ``none``.
+
+``report [...]``
+    Runs all three coherence modes and prints the classification table;
+    exits 1 unless the paper's expected shape holds (sync race-free,
+    async shows unbounded races, `Global_Read` shows only tolerated
+    races within its bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.lint import DEFAULT_EXCLUDES, format_findings, lint_paths
+from repro.analysis.report import (
+    MODE_NAMES,
+    classify_island_run,
+    classify_three_modes,
+    race_table,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis and race classification for the repro codebase.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the RPR0xx determinism lint")
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        help=f"extra exclude fragment (defaults: {', '.join(DEFAULT_EXCLUDES)})",
+    )
+
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fid", type=int, default=1, help="test function id (default f1)")
+        p.add_argument("--demes", type=int, default=4, help="island count (default 4)")
+        p.add_argument("--age", type=int, default=10, help="Global_Read age bound")
+        p.add_argument("--generations", type=int, default=60)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    races = sub.add_parser("races", help="classify races in one instrumented run")
+    races.add_argument("--mode", choices=sorted(MODE_NAMES), required=True)
+    add_run_args(races)
+    races.add_argument(
+        "--fail-on",
+        choices=("violations", "unbounded", "any-race", "none"),
+        default="violations",
+        help="what makes the exit code non-zero (default: violations)",
+    )
+
+    report = sub.add_parser(
+        "report", help="classify all three coherence modes and check the shape"
+    )
+    add_run_args(report)
+    return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    select = args.select.split(",") if args.select else None
+    if select is not None:
+        from repro.analysis.rules import ALL_RULES
+
+        known = {r.code for r in ALL_RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            # a typo'd code must not silently disable the gate
+            print(
+                f"error: unknown rule code(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+            return 2
+    excludes = list(DEFAULT_EXCLUDES) + (args.exclude or [])
+    findings, errors = lint_paths(args.paths, select=select, excludes=excludes)
+    out = format_findings(findings, errors, as_json=args.json)
+    if out:
+        print(out)
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+def _check_age(args: argparse.Namespace) -> str | None:
+    if args.age < 0:
+        # the CLI equivalent of lint rule RPR006
+        return f"error: --age is a staleness tolerance and must be >= 0 (got {args.age})"
+    return None
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    problem = _check_age(args)
+    if problem:
+        print(problem)
+        return 2
+    run = classify_island_run(
+        MODE_NAMES[args.mode],
+        fid=args.fid,
+        n_demes=args.demes,
+        age=args.age,
+        n_generations=args.generations,
+        seed=args.seed,
+    )
+    c = run.classifier
+    if args.json:
+        print(json.dumps(run.to_dict(), indent=2))
+    else:
+        print(f"{run.mode_label}: {c.report()}")
+    if args.fail_on == "none":
+        return 0
+    failed = c.total_violations > 0
+    if args.fail_on in ("unbounded", "any-race"):
+        failed = failed or c.unbounded_races > 0
+    if args.fail_on == "any-race":
+        failed = failed or c.tolerated_races > 0
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    problem = _check_age(args)
+    if problem:
+        print(problem)
+        return 2
+    runs = classify_three_modes(
+        fid=args.fid,
+        n_demes=args.demes,
+        age=args.age,
+        n_generations=args.generations,
+        seed=args.seed,
+    )
+    sync, async_, gr = runs
+    problems = []
+    if not sync.classifier.race_free:
+        problems.append("synchronous run is not race-free")
+    if async_.classifier.unbounded_races == 0:
+        problems.append("asynchronous run shows no unbounded race")
+    if gr.classifier.unbounded_races > 0:
+        problems.append("Global_Read run shows unbounded races")
+    if gr.classifier.tolerated_races == 0:
+        problems.append("Global_Read run shows no tolerated race")
+    if gr.classifier.max_observed_staleness() > args.age:
+        problems.append("Global_Read staleness exceeds the declared bound")
+    for run in runs:
+        if run.classifier.total_violations:
+            problems.append(f"{run.mode_label}: consistency violations")
+    if args.json:
+        print(
+            json.dumps(
+                {"runs": [r.to_dict() for r in runs], "problems": problems},
+                indent=2,
+            )
+        )
+    else:
+        print(race_table(runs))
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        if not problems:
+            print(
+                "shape OK: sync race-free; async has unbounded races; "
+                f"Global_Read(age={args.age}) races all tolerated within bound"
+            )
+    return 1 if problems else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "races":
+        return _cmd_races(args)
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

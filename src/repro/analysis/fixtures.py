@@ -1,0 +1,66 @@
+"""Pytest integration: the ``sanitize_dsm`` fixture.
+
+Importing this module's fixture into a ``conftest.py``::
+
+    from repro.analysis.fixtures import sanitize_dsm  # noqa: F401
+
+arms an opt-in runtime sanitizer: when ``REPRO_SANITIZE=1`` is set in
+the environment, every :class:`~repro.core.dsm.Dsm` constructed during a
+test gets a :class:`~repro.analysis.races.RaceClassifier` attached, and
+the test fails if any *consistency invariant* (staleness bound, phantom
+values, monotone reads, producer monotonicity) was violated.  Race
+classifications are collected but never fail a test by themselves —
+asynchronous-mode tests race by design; the point of the repository is
+that those races are tolerable.
+
+Without the environment variable the fixture is inert, so the suite's
+default behaviour (and its timing-sensitive assertions) is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.races import RaceClassifier, attach_race_classifier
+from repro.core.dsm import Dsm
+
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitizer_enabled() -> bool:
+    return os.environ.get(SANITIZE_ENV_VAR) == "1"
+
+
+@pytest.fixture(autouse=True)
+def sanitize_dsm():
+    """Auto-attach the race classifier to every Dsm when sanitizing.
+
+    Yields the list of attached classifiers (empty when the sanitizer
+    is off), so a test may also inspect race classifications directly.
+    """
+    if not sanitizer_enabled():
+        yield []
+        return
+    attached: list[RaceClassifier] = []
+    original_init = Dsm.__init__
+
+    def instrumented_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        attached.append(attach_race_classifier(self))
+
+    Dsm.__init__ = instrumented_init  # type: ignore[method-assign]
+    try:
+        yield attached
+    finally:
+        Dsm.__init__ = original_init  # type: ignore[method-assign]
+    # A test may install its own checker (replacing ours on that Dsm) —
+    # that is fine; we only judge classifiers still wired up.
+    broken = [rc for rc in attached if rc.total_violations > 0]
+    if broken:
+        reports = "\n".join(rc.report() for rc in broken)
+        pytest.fail(
+            f"{SANITIZE_ENV_VAR}=1: consistency invariant violated under "
+            f"sanitizer:\n{reports}"
+        )

@@ -1,0 +1,163 @@
+"""The lint engine: file walking, rule dispatch and finding output.
+
+Rules live in :mod:`repro.analysis.rules`; this module owns everything
+around them — discovering Python files, parsing, running every selected
+rule over the tree, and formatting findings as ``path:line:col`` text or
+JSON.  Exit-code policy (used by the CLI and CI): 0 = clean, 1 = one or
+more findings, 2 = usage/parse error.
+
+Excludes
+--------
+:data:`DEFAULT_EXCLUDES` is the shared exclude list: path fragments that
+are skipped while *recursing into directories*.  Deliberately-bad lint
+fixtures (``tests/analysis/fixtures``) live there so ``lint src tests``
+stays clean in CI.  Explicitly named files are always linted, even when
+an exclude matches — that is how the fixture tests assert the rules
+fire.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator, Sequence
+
+#: path fragments never descended into when walking directories;
+#: shared between the lint CLI and any future vendored-code carve-outs
+DEFAULT_EXCLUDES: tuple[str, ...] = (
+    "__pycache__",
+    ".git",
+    ".venv",
+    "build",
+    "dist",
+    "vendor",
+    os.path.join("tests", "analysis", "fixtures"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit, with a fix-it hint."""
+
+    code: str
+    name: str
+    message: str
+    fixit: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} (fix: {self.fixit})"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _excluded(path: str, excludes: Sequence[str]) -> bool:
+    normalized = os.path.normpath(path)
+    parts = normalized.split(os.sep)
+    for pattern in excludes:
+        pat_parts = os.path.normpath(pattern).split(os.sep)
+        n = len(pat_parts)
+        if any(parts[i : i + n] == pat_parts for i in range(len(parts) - n + 1)):
+            return True
+    return False
+
+
+def iter_python_files(
+    paths: Iterable[str], excludes: Sequence[str] = DEFAULT_EXCLUDES
+) -> Iterator[str]:
+    """Yield .py files under ``paths`` in sorted order.
+
+    Directories are walked recursively with ``excludes`` applied;
+    explicitly listed files are yielded unconditionally (see module
+    docstring).
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not _excluded(os.path.join(dirpath, d), excludes)
+            )
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    full = os.path.join(dirpath, fname)
+                    if not _excluded(full, excludes):
+                        yield full
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run every (selected) rule over one module's source text."""
+    from repro.analysis.rules import ALL_RULES
+
+    tree = ast.parse(source, filename=path)
+    findings: list[Finding] = []
+    for rule_cls in ALL_RULES:
+        if select is not None and rule_cls.code not in select:
+            continue
+        rule = rule_cls(path)
+        rule.visit(tree)
+        findings.extend(rule.findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Sequence[str] | None = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> tuple[list[Finding], list[str]]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that could
+    not be read or parsed (reported separately so a syntax error in one
+    file does not mask findings in the rest).
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    path_list = list(paths)
+    missing = [p for p in path_list if not os.path.exists(p)]
+    errors += [f"no such file or directory: {p!r}" for p in missing]
+    for fpath in iter_python_files(
+        (p for p in path_list if p not in missing), excludes
+    ):
+        try:
+            with open(fpath, encoding="utf-8") as fh:
+                source = fh.read()
+            findings.extend(lint_source(source, fpath, select))
+        except (OSError, SyntaxError) as exc:
+            errors.append(f"{fpath}: {exc}")
+    return findings, errors
+
+
+def format_findings(
+    findings: Sequence[Finding], errors: Sequence[str] = (), as_json: bool = False
+) -> str:
+    """Render findings as line-per-finding text or a JSON document."""
+    if as_json:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "errors": list(errors),
+                "count": len(findings),
+            },
+            indent=2,
+        )
+    lines = [f.format() for f in findings]
+    lines += [f"error: {e}" for e in errors]
+    if findings or errors:
+        lines.append(f"{len(findings)} finding(s), {len(errors)} error(s)")
+    return "\n".join(lines)

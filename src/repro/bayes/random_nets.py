@@ -59,7 +59,6 @@ def make_random_network(
         raise ValueError(f"n_edges must be in [0, {max_edges}]")
     rng = np.random.default_rng(seed)
     order = rng.permutation(n_nodes)
-    position = np.argsort(order)  # node -> topo position
 
     parents: dict[int, list[int]] = {int(v): [] for v in range(n_nodes)}
     edges: set[tuple[int, int]] = set()

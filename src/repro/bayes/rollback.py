@@ -29,7 +29,7 @@ This module holds the two pieces of bookkeeping:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -33,13 +33,37 @@ class Violation:
     locn: str
     detail: str
     time: float
+    #: reading task id for read-side invariants (None for write-side ones)
+    reader: int | None = None
+
+
+#: keep at most this many stored examples per (invariant, locn, reader)
+PER_KEY_LIMIT = 5
 
 
 @dataclass
 class ConsistencyChecker:
-    """Observes DSM operations and accumulates invariant violations."""
+    """Observes DSM operations and accumulates invariant violations.
+
+    ``violations`` stores a bounded sample of the broken invariants: at
+    most :attr:`max_violations` total and at most :data:`PER_KEY_LIMIT`
+    per (invariant, location, reader) key, so a pathological run cannot
+    grow the list without bound.  Every occurrence — stored or not — is
+    counted in :attr:`violation_counts`; :attr:`ok` reflects the counts,
+    never the (possibly truncated) sample.
+    """
 
     violations: list[Violation] = field(default_factory=list)
+    #: hard cap on stored Violation examples
+    max_violations: int = 1000
+    #: every occurrence, keyed by (invariant, locn): survives deduping
+    violation_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: occurrences not stored in ``violations`` (dedup or cap)
+    violations_dropped: int = 0
+    #: per (invariant, locn, reader): stored examples so far
+    _stored_per_key: dict[tuple[str, str, int | None], int] = field(
+        default_factory=dict
+    )
     #: per location: set of ages ever written
     _written_ages: dict[str, set[int]] = field(default_factory=dict)
     #: per location: largest write age so far
@@ -50,13 +74,16 @@ class ConsistencyChecker:
     writes_checked: int = 0
 
     # -- hooks called by the DSM ----------------------------------------
-    def on_write(self, locn: str, age: int, time: float) -> None:
+    def on_write(
+        self, locn: str, age: int, time: float, writer: int | None = None
+    ) -> None:
         self.writes_checked += 1
         prev = self._max_write_age.get(locn)
         if prev is not None and age <= prev:
+            who = f"writer {writer} " if writer is not None else ""
             self._flag(
                 "producer-monotonicity", locn,
-                f"write age {age} after {prev}", time,
+                f"{who}write age {age} after {prev}", time,
             )
         self._max_write_age[locn] = age
         self._written_ages.setdefault(locn, set()).add(age)
@@ -77,12 +104,13 @@ class ConsistencyChecker:
                 self._flag(
                     "staleness-bound", locn,
                     f"reader {reader} at iter {curr_iter} with age {age_bound} "
-                    f"got value of age {returned_age}", time,
+                    f"got value of age {returned_age}", time, reader=reader,
                 )
         if returned_age not in self._written_ages.get(locn, set()):
             self._flag(
                 "no-phantom-values", locn,
                 f"reader {reader} got age {returned_age}, never written", time,
+                reader=reader,
             )
         key = (reader, locn)
         last = self._last_read_age.get(key)
@@ -90,26 +118,63 @@ class ConsistencyChecker:
             self._flag(
                 "monotone-reads", locn,
                 f"reader {reader} saw age {returned_age} after {last}", time,
+                reader=reader,
             )
         self._last_read_age[key] = returned_age
 
-    def _flag(self, invariant: str, locn: str, detail: str, time: float) -> None:
-        self.violations.append(Violation(invariant, locn, detail, time))
+    def _flag(
+        self,
+        invariant: str,
+        locn: str,
+        detail: str,
+        time: float,
+        reader: int | None = None,
+    ) -> None:
+        count_key = (invariant, locn)
+        self.violation_counts[count_key] = self.violation_counts.get(count_key, 0) + 1
+        dedup_key = (invariant, locn, reader)
+        stored = self._stored_per_key.get(dedup_key, 0)
+        if stored >= PER_KEY_LIMIT or len(self.violations) >= self.max_violations:
+            self.violations_dropped += 1
+            return
+        self._stored_per_key[dedup_key] = stored + 1
+        self.violations.append(Violation(invariant, locn, detail, time, reader=reader))
+
+    @property
+    def total_violations(self) -> int:
+        """Every occurrence ever flagged, including deduped/capped ones."""
+        return sum(self.violation_counts.values())
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return self.total_violations == 0
 
-    def report(self) -> str:
-        """Human-readable summary for test failures."""
+    def report(self, max_lines: int = 20) -> str:
+        """Human-readable summary for test failures.
+
+        Shows at most ``max_lines`` stored examples and says explicitly
+        when output is truncated — both by this limit and by the
+        dedup/cap applied at collection time.
+        """
         if self.ok:
             return (
                 f"consistency OK: {self.writes_checked} writes, "
                 f"{self.reads_checked} reads, 0 violations"
             )
-        lines = [f"{len(self.violations)} violation(s):"]
-        lines += [
-            f"  [{v.invariant}] {v.locn} @ t={v.time:.6f}: {v.detail}"
-            for v in self.violations[:20]
-        ]
+        total = self.total_violations
+        shown = min(max_lines, len(self.violations))
+        lines = [f"{total} violation(s), showing first {shown}:"]
+        for v in self.violations[:max_lines]:
+            who = f" reader={v.reader}" if v.reader is not None else ""
+            lines.append(
+                f"  [{v.invariant}] {v.locn}{who} @ t={v.time:.6f}: {v.detail}"
+            )
+        omitted = total - shown
+        if omitted > 0:
+            lines.append(
+                f"  ... {omitted} more occurrence(s) omitted "
+                f"({self.violations_dropped} deduped/capped at collection, "
+                f"{len(self.violations) - shown} truncated here); "
+                "full counts in violation_counts"
+            )
         return "\n".join(lines)

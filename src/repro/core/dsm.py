@@ -20,7 +20,7 @@ do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.core.agebuffer import AgeBuffer
@@ -31,7 +31,6 @@ from repro.core.global_read import (
     satisfies_age_bound,
 )
 from repro.core.location import SharedLocationSpec, VersionedValue
-from repro.pvm.message import Message
 from repro.pvm.vm import Task, VirtualMachine
 from repro.sim.process import Compute, WaitSignal
 
@@ -107,7 +106,7 @@ class DsmNode:
         self.local_store[locn] = VersionedValue(value=value, age=iter_no, write_time=now)
         self.stats.writes += 1
         if self.dsm.checker is not None:
-            self.dsm.checker.on_write(locn, iter_no, now)
+            self.dsm.checker.on_write(locn, iter_no, now, writer=self.task.tid)
         payload_bytes = (nbytes if nbytes is not None else spec.value_nbytes)
         wire_bytes = payload_bytes + UPDATE_HEADER_BYTES
 

@@ -12,7 +12,7 @@ processors) is hours of simulation; tests need seconds.  A
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

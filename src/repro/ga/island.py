@@ -224,8 +224,14 @@ def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder)
     return proc
 
 
-def run_island_ga(cfg: IslandGaConfig) -> IslandGaResult:
-    """Execute one island-GA run on a freshly built machine."""
+def run_island_ga(cfg: IslandGaConfig, instrument=None) -> IslandGaResult:
+    """Execute one island-GA run on a freshly built machine.
+
+    ``instrument``, if given, is called with the freshly built
+    :class:`~repro.core.dsm.Dsm` before any process is spawned — the
+    race classifier (:mod:`repro.analysis.races`) attaches itself this
+    way without perturbing the run.
+    """
     mcfg = cfg.machine or MachineConfig(n_nodes=cfg.n_demes, seed=cfg.seed, measure_warp=True)
     if mcfg.n_nodes != cfg.n_demes:
         raise ValueError(
@@ -234,6 +240,8 @@ def run_island_ga(cfg: IslandGaConfig) -> IslandGaResult:
     reseed_f4(cfg.seed * 8 + cfg.fn.fid)
     machine = Machine(mcfg)
     dsm = Dsm(machine.vm, update_policy=cfg.update_policy)
+    if instrument is not None:
+        instrument(dsm)
     n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
     enc = BinaryEncoding.for_function(cfg.fn, gray=cfg.gray)
     for d in range(cfg.n_demes):

@@ -91,7 +91,6 @@ def run_serial_ga(
     best_hist = np.empty(n_generations + 1)
     time_hist = np.empty(n_generations + 1)
     best_so_far = pop.best_fitness
-    evals_before = cache.misses
     sim_time += costs.generation_cost(fn, params.population_size, cache.misses)
     best_hist[0], time_hist[0] = best_so_far, sim_time
 

@@ -149,6 +149,9 @@ class Task:
         )
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        observer = self.vm.observer
+        if observer is not None:
+            observer.on_send(self.tid, dst, tag, msg.msg_id, self.vm.kernel.now)
         self.vm._transmit(msg)
 
     # ------------------------------------------------------------------
@@ -157,7 +160,14 @@ class Task:
     def _pop_match(self, src: int, tag: int) -> Message | None:
         for i, msg in enumerate(self.mailbox):
             if msg.matches(src, tag):
-                return self.mailbox.pop(i)
+                popped = self.mailbox.pop(i)
+                observer = self.vm.observer
+                if observer is not None:
+                    # Consumption, not mailbox arrival, is the receive
+                    # event: a happens-before edge only exists once the
+                    # receiving *process* has folded the message in.
+                    observer.on_recv(self.tid, popped, self.vm.kernel.now)
+                return popped
         return None
 
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
@@ -259,6 +269,11 @@ class VirtualMachine:
         #: max egress frames in flight before sends block (socket buffer)
         self.send_window = send_window
         self.tasks: dict[int, Task] = {}
+        #: optional message-event observer (``on_send(src, dst, tag,
+        #: msg_id, time)`` / ``on_recv(tid, msg, time)``) — the
+        #: happens-before race classifier attaches here to see every
+        #: send/consume edge, including barrier traffic
+        self.observer: Any = None
         try:
             self._mtu = int(network.config.max_payload)  # type: ignore[attr-defined]
         except AttributeError:

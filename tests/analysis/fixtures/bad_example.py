@@ -1,0 +1,47 @@
+"""Deliberately broken module: every RPR0xx rule must fire on this file.
+
+This fixture is excluded from the default lint walk (see
+``repro.analysis.lint.DEFAULT_EXCLUDES``) and is never imported; CI
+lints it *explicitly* and asserts a non-zero exit.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.sim import Compute
+
+
+def unseeded_randomness():
+    a = random.random()                  # RPR001: stdlib global RNG
+    b = np.random.rand(4)                # RPR001: numpy global RNG
+    np.random.seed(0)                    # RPR001: mutates global state
+    return a, b
+
+
+def wall_clock():
+    start = time.time()                  # RPR002: host clock
+    return time.perf_counter() - start   # RPR002: host clock
+
+
+def iteration_order(streams):
+    names = []
+    for s in {"mutate", "select", "migrate"}:    # RPR003: set iteration
+        names.append(s)
+    totals = [n for n in set(streams)]           # RPR003: set(...) in comp
+    return names, totals
+
+
+def bad_process(node, task):
+    yield Compute(1.0)
+    yield dict(op="send")                # RPR004: not a kernel request
+
+
+def bypass_dsm(dnode, value):
+    dnode.agebuf.update("x", value, 3, 0.0, 0.0)   # RPR005: skips write()
+    dnode.local_store["x"] = value                 # RPR005: direct store
+
+
+def negative_age(dnode, g):
+    return dnode.global_read("x", g, -1)           # RPR006: negative bound

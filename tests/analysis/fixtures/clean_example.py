@@ -1,0 +1,36 @@
+"""Deliberately clean module: no RPR0xx rule may fire on this file.
+
+Exercises the *allowed* spellings next to each rule's banned ones, so
+rule over-reach shows up as a failing negative test rather than noise.
+"""
+
+import numpy as np
+
+from repro.sim import Compute, WaitSignal
+
+
+def seeded_randomness(seed):
+    rng = np.random.default_rng(seed)                       # allowed
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=(1,))  # allowed
+    return rng, ss
+
+
+def simulated_clock(kernel):
+    return kernel.now                                       # allowed
+
+
+def stable_iteration(streams):
+    return [s for s in sorted(set(streams))]                # allowed
+
+
+def good_process(node, task, sig):
+    yield Compute(1.0)
+    yield WaitSignal(sig)
+    msg = yield from task.recv()
+    return msg
+
+
+def proper_write(dsm, value, g):
+    yield from dsm.node(0).write("x", value, iter_no=g, nbytes=8)
+    copy = yield from dsm.node(1).global_read("x", g, 0)    # age 0 is legal
+    return copy

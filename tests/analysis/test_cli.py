@@ -1,0 +1,138 @@
+"""CLI exit codes and output formats for ``python -m repro.analysis``."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self):
+        assert main(["lint", os.path.join(REPO_ROOT, "src")]) == 0
+
+    def test_bad_fixture_exits_one(self, capsys):
+        rc = main(["lint", os.path.join(FIXTURES, "bad_example.py")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "finding(s)" in out
+
+    def test_json_mode(self, capsys):
+        rc = main(["lint", "--json", os.path.join(FIXTURES, "bad_example.py")])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] >= 6
+        assert {f["code"] for f in doc["findings"]} >= {"RPR001", "RPR006"}
+
+    def test_select_limits_rules(self, capsys):
+        rc = main(
+            ["lint", "--select", "RPR002", os.path.join(FIXTURES, "bad_example.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out and "RPR001" not in out
+
+    def test_missing_path_exits_two(self, capsys):
+        rc = main(["lint", "does/not/exist.py", os.path.join(FIXTURES, "bad_example.py")])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "no such file or directory" in out
+        # the existing path was still linted, not masked by the error
+        assert "RPR001" in out
+
+    def test_unknown_select_code_exits_two(self, capsys):
+        rc = main(["lint", "--select", "RPR999", os.path.join(REPO_ROOT, "src")])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().out
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "syntax_error.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_extra_exclude_skips_directory(self, tmp_path):
+        sub = tmp_path / "generated"
+        sub.mkdir()
+        (sub / "dirty.py").write_text("import time\ntime.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert main(["lint", "--exclude", "generated", str(tmp_path)]) == 0
+
+
+class TestRacesCommand:
+    def test_gr_mode_passes_default_gate(self, capsys):
+        rc = main(
+            ["races", "--mode", "gr", "--generations", "20", "--demes", "3"]
+        )
+        assert rc == 0
+        assert "tolerated races" in capsys.readouterr().out
+
+    def test_async_mode_fails_unbounded_gate(self, capsys):
+        rc = main(
+            [
+                "races", "--mode", "async", "--generations", "30",
+                "--fail-on", "unbounded",
+            ]
+        )
+        assert rc == 1
+
+    def test_async_mode_passes_violations_gate(self):
+        # unbounded races are the *point* of async mode; only broken
+        # consistency invariants fail the default gate
+        rc = main(["races", "--mode", "async", "--generations", "30"])
+        assert rc == 0
+
+    def test_json_output(self, capsys):
+        rc = main(
+            ["races", "--mode", "sync", "--generations", "15", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "synchronous"
+        assert doc["unbounded_races"] == 0
+
+
+class TestReportCommand:
+    def test_three_mode_shape_holds(self, capsys):
+        rc = main(["report", "--generations", "40"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "shape OK" in out
+        assert "synchronous" in out and "asynchronous" in out
+
+    def test_report_json(self, capsys):
+        rc = main(["report", "--generations", "30", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problems"] == []
+        assert len(doc["runs"]) == 3
+
+
+class TestSanitizerFixture:
+    def test_sanitizer_attaches_when_enabled(self, monkeypatch):
+        from repro.analysis.fixtures import sanitizer_enabled
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitizer_enabled()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not sanitizer_enabled()
+
+    def test_sanitize_fixture_collects_classifiers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.analysis.fixtures import sanitize_dsm
+
+        gen = sanitize_dsm.__wrapped__()
+        attached = next(gen)
+        from repro.cluster import Machine, MachineConfig
+        from repro.core import Dsm
+
+        dsm = Dsm(Machine(MachineConfig(n_nodes=2, seed=0)).vm)
+        assert len(attached) == 1
+        assert dsm.checker is attached[0]
+        assert dsm.vm.observer is attached[0]
+        with pytest.raises(StopIteration):
+            gen.send(None)

@@ -1,0 +1,287 @@
+"""Per-rule positive/negative coverage for the RPR0xx lint.
+
+Each rule gets at least one snippet it must flag and one adjacent,
+legitimate spelling it must NOT flag — over-reach is as much a bug as
+under-reach for a CI gate.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.lint import (
+    DEFAULT_EXCLUDES,
+    Finding,
+    format_findings,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import ALL_RULES
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def codes(source: str) -> set[str]:
+    return {f.code for f in lint_source(source)}
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — unseeded randomness
+# ---------------------------------------------------------------------------
+class TestUnseededRandomness:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "import random\nx = random.random()\n",
+            "import random as rnd\nx = rnd.randint(0, 5)\n",
+            "from random import shuffle\nshuffle(items)\n",
+            "import numpy as np\nx = np.random.rand(3)\n",
+            "import numpy as np\nnp.random.seed(42)\n",
+            "from numpy import random as npr\nx = npr.normal()\n",
+        ],
+    )
+    def test_flags_global_rng(self, src):
+        assert "RPR001" in codes(src)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "import numpy as np\nss = np.random.SeedSequence(entropy=3)\n",
+            "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n",
+            "import random\nr = random.Random(123)\n",
+            # an unrelated module attribute that merely ends in .random
+            "x = obj.random.whatever()\n",
+        ],
+    )
+    def test_allows_seeded_constructors(self, src):
+        assert "RPR001" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — wall-clock reads
+# ---------------------------------------------------------------------------
+class TestWallClock:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.perf_counter()\n",
+            "import time as t\nx = t.monotonic()\n",
+            "from time import time\nx = time()\n",
+            "import datetime\nnow = datetime.datetime.now()\n",
+            "from datetime import datetime\nnow = datetime.utcnow()\n",
+        ],
+    )
+    def test_flags_wall_clock(self, src):
+        assert "RPR002" in codes(src)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "now = kernel.now\n",
+            "import time\ntime.sleep  # referencing, not a banned call\n",
+            "import time\ntime.strftime('%Y')\n",
+            "from datetime import timedelta\nd = timedelta(seconds=1)\n",
+        ],
+    )
+    def test_allows_simulated_clock(self, src):
+        assert "RPR002" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — iteration-order hazards
+# ---------------------------------------------------------------------------
+class TestIterationOrder:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "for x in {1, 2, 3}:\n    pass\n",
+            "for x in set(names):\n    pass\n",
+            "for x in frozenset(names):\n    pass\n",
+            "ys = [f(x) for x in set(names)]\n",
+            "ys = {f(x) for x in {a, b}}\n",
+        ],
+    )
+    def test_flags_set_iteration(self, src):
+        assert "RPR003" in codes(src)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "for x in sorted(set(names)):\n    pass\n",
+            "for x in sorted({1, 2}):\n    pass\n",
+            "for k in mapping:\n    pass\n",  # dict order is insertion order
+            "for k, v in mapping.items():\n    pass\n",
+            "ok = x in set(names)\n",  # membership test, not iteration
+        ],
+    )
+    def test_allows_sorted_and_dicts(self, src):
+        assert "RPR003" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — illegal syscall yields
+# ---------------------------------------------------------------------------
+class TestIllegalYield:
+    def test_flags_non_syscall_yield_in_sim_process(self):
+        src = (
+            "def proc(node, task):\n"
+            "    yield Compute(1.0)\n"
+            "    yield Frame(src=0, dst=1)\n"
+        )
+        assert "RPR004" in codes(src)
+
+    def test_allows_pure_syscall_process(self):
+        src = (
+            "def proc(node, task):\n"
+            "    yield Compute(1.0)\n"
+            "    yield WaitSignal(sig)\n"
+            "    yield Yield()\n"
+            "    msg = yield from task.recv()\n"
+            "    return msg\n"
+        )
+        assert "RPR004" not in codes(src)
+
+    def test_ignores_ordinary_data_generators(self):
+        # A generator that never yields a syscall isn't a sim process.
+        src = (
+            "def pairs(items):\n"
+            "    for a in items:\n"
+            "        yield make_pair(a)\n"
+        )
+        assert "RPR004" not in codes(src)
+
+    def test_nested_function_yields_not_attributed_to_outer(self):
+        src = (
+            "def outer(task):\n"
+            "    yield Compute(1.0)\n"
+            "    def inner(xs):\n"
+            "        for x in xs:\n"
+            "            yield transform(x)\n"
+            "    return inner\n"
+        )
+        assert "RPR004" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — DSM-bypassing mutation
+# ---------------------------------------------------------------------------
+class TestDsmBypass:
+    def test_flags_agebuf_update_outside_dsm(self):
+        src = "def hack(dnode, v):\n    dnode.agebuf.update('x', v, 2, 0.0, 0.0)\n"
+        assert "RPR005" in codes(src)
+
+    def test_flags_local_store_assignment(self):
+        src = "def hack(dnode, v):\n    dnode.local_store['x'] = v\n"
+        assert "RPR005" in codes(src)
+
+    def test_flags_copies_assignment(self):
+        src = "def hack(buf, v):\n    buf._copies['x'] = v\n"
+        assert "RPR005" in codes(src)
+
+    def test_allows_dsm_implementation_classes(self):
+        src = (
+            "class DsmNode:\n"
+            "    def write(self, locn, v):\n"
+            "        self.local_store[locn] = v\n"
+            "        self.agebuf.update(locn, v, 1, 0.0, 0.0)\n"
+            "class AgeBuffer:\n"
+            "    def update(self, locn, v):\n"
+            "        self._copies[locn] = v\n"
+        )
+        assert "RPR005" not in codes(src)
+
+    def test_allows_unrelated_update_calls(self):
+        src = "def f(d, other):\n    d.update(other)\n    stats.update(other)\n"
+        assert "RPR005" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — negative Global_Read age
+# ---------------------------------------------------------------------------
+class TestNegativeAge:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "copy = yield_from(dnode.global_read('x', g, -1))\n",
+            "def f(dnode, g):\n    return dnode.global_read('x', g, age=-3)\n",
+        ],
+    )
+    def test_flags_negative_constant(self, src):
+        assert "RPR006" in codes(src)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "def f(dnode, g):\n    return dnode.global_read('x', g, 0)\n",
+            "def f(dnode, g, age):\n    return dnode.global_read('x', g, age)\n",
+            "def f(dnode, g):\n    return dnode.global_read('x', g, age=10)\n",
+        ],
+    )
+    def test_allows_nonnegative_and_dynamic(self, src):
+        assert "RPR006" not in codes(src)
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+class TestEngine:
+    def test_every_rule_fires_on_bad_fixture(self):
+        findings, errors = lint_paths([os.path.join(FIXTURES, "bad_example.py")])
+        assert not errors
+        fired = {f.code for f in findings}
+        assert fired == {r.code for r in ALL_RULES}
+
+    def test_clean_fixture_is_clean(self):
+        findings, errors = lint_paths([os.path.join(FIXTURES, "clean_example.py")])
+        assert not errors
+        assert findings == []
+
+    def test_fixture_dir_excluded_from_directory_walk(self):
+        tests_root = os.path.dirname(os.path.dirname(__file__))
+        walked = list(iter_python_files([tests_root]))
+        assert not any(os.sep + "fixtures" + os.sep in p for p in walked)
+        # ...but explicit files bypass the exclude list
+        explicit = os.path.join(FIXTURES, "bad_example.py")
+        assert list(iter_python_files([explicit])) == [explicit]
+
+    def test_select_restricts_rules(self):
+        src = "import time\nimport random\nrandom.random()\ntime.time()\n"
+        only_clock = lint_source(src, select=["RPR002"])
+        assert {f.code for f in only_clock} == {"RPR002"}
+
+    def test_repo_src_is_lint_clean(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        findings, errors = lint_paths([os.path.join(repo_root, "src")])
+        assert not errors
+        assert findings == [], format_findings(findings)
+
+    def test_findings_have_location_and_fixit(self):
+        findings = lint_source("import time\nt = time.time()\n", path="mod.py")
+        assert len(findings) == 1
+        f = findings[0]
+        assert isinstance(f, Finding)
+        assert (f.path, f.line) == ("mod.py", 2)
+        assert f.fixit
+        assert "mod.py:2:" in f.format()
+        assert f.to_dict()["code"] == "RPR002"
+
+    def test_json_output_shape(self):
+        import json
+
+        findings = lint_source("import time\ntime.time()\n", path="m.py")
+        doc = json.loads(format_findings(findings, as_json=True))
+        assert doc["count"] == 1
+        assert doc["findings"][0]["code"] == "RPR002"
+
+    def test_default_excludes_is_shared_constant(self):
+        assert os.path.join("tests", "analysis", "fixtures") in DEFAULT_EXCLUDES
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings, errors = lint_paths([str(bad)])
+        assert findings == []
+        assert len(errors) == 1 and "broken.py" in errors[0]

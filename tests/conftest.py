@@ -1,0 +1,9 @@
+"""Suite-wide fixtures.
+
+``sanitize_dsm`` is inert by default; run ``REPRO_SANITIZE=1 pytest``
+to attach the happens-before race classifier to every DSM built in any
+test and fail on consistency-invariant violations (see
+:mod:`repro.analysis.fixtures`).
+"""
+
+from repro.analysis.fixtures import sanitize_dsm  # noqa: F401

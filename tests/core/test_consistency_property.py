@@ -102,5 +102,61 @@ def test_checker_flags_nonmonotone_writes():
 def test_checker_report_formats():
     c = ConsistencyChecker()
     assert "OK" in c.report()
-    c.violations.append(Violation("staleness-bound", "x", "detail", 1.0))
-    assert "staleness-bound" in c.report()
+    c.on_write("x", 5, 0.0)
+    c.on_read(1, "x", returned_age=4, time=1.0)  # phantom
+    assert "no-phantom-values" in c.report()
+
+
+def test_violation_carries_reader_id():
+    c = ConsistencyChecker()
+    c.on_write("x", 5, 0.0)
+    c.on_read(reader=3, locn="x", returned_age=4, time=1.0)  # phantom
+    assert c.violations[0].reader == 3
+    assert "reader=3" in c.report()
+    # write-side invariants have no reader
+    c.on_write("x", 5, 2.0)
+    monotone = [v for v in c.violations if v.invariant == "producer-monotonicity"]
+    assert monotone and monotone[0].reader is None
+    # positional construction (pre-reader-field call sites) still works
+    v = Violation("staleness-bound", "x", "detail", 1.0)
+    assert v.reader is None
+
+
+def test_violations_dedup_per_key_and_count_everything():
+    c = ConsistencyChecker()
+    c.on_write("x", 5, 0.0)
+    n = 50
+    for i in range(n):
+        c.on_read(reader=1, locn="x", returned_age=4 - i, time=float(i))
+    # phantom fires every read; monotone-reads from the second on
+    from repro.core.consistency import PER_KEY_LIMIT
+
+    phantom_stored = [v for v in c.violations if v.invariant == "no-phantom-values"]
+    assert len(phantom_stored) == PER_KEY_LIMIT
+    assert c.violation_counts[("no-phantom-values", "x")] == n
+    assert c.violations_dropped > 0
+    assert not c.ok
+    assert c.total_violations == sum(c.violation_counts.values())
+
+
+def test_violations_hard_cap_bounds_memory():
+    c = ConsistencyChecker(max_violations=10)
+    c.on_write("x", 100, 0.0)
+    # distinct readers defeat per-key dedup, so the hard cap must hold
+    for reader in range(500):
+        c.on_read(reader=reader, locn="x", returned_age=0, time=1.0)
+    assert len(c.violations) == 10
+    assert c.total_violations >= 500
+    assert not c.ok
+
+
+def test_report_says_it_truncates():
+    c = ConsistencyChecker()
+    c.on_write("x", 100, 0.0)
+    for reader in range(30):
+        c.on_read(reader=reader, locn="x", returned_age=0, time=1.0)
+    text = c.report()
+    assert "showing first 20" in text
+    assert "omitted" in text
+    # the truncation message is accurate about the totals
+    assert f"{c.total_violations} violation(s)" in text
