@@ -11,10 +11,12 @@ to ``default``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro.bench.harness import SCHEMA_VERSION, env_info
 from repro.experiments.config import current_scale
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -27,12 +29,30 @@ def scale():
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Writer: save_result(name, text) -> path under results/."""
+    """Writer: save_result(name, text, data=None) -> path under results/.
+
+    Always writes the human-readable table to ``results/<name>.txt``.
+    When ``data`` (the raw row dicts behind the table) is given, also
+    writes ``results/<name>.json`` wrapped in the same ``repro-bench/1``
+    envelope as ``BENCH_<n>.json``, so downstream tooling parses one
+    schema for both bench points and experiment outputs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> pathlib.Path:
+    def _save(name: str, text: str, data=None) -> pathlib.Path:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        if data is not None:
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "name": name,
+                "scale": current_scale().name,
+                "env": env_info(),
+                "rows": data,
+            }
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(envelope, indent=2, sort_keys=True, default=str) + "\n"
+            )
         print(f"\n{text}\n[saved to {path}]")
         return path
 

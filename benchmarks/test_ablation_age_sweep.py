@@ -53,6 +53,7 @@ def test_age_sweep(benchmark, save_result):
             [[r["age"], r["speedup"], r["messages"], r["rollbacks"], r["block_time"]] for r in rows],
             title="A2 — Global_Read age sensitivity (network A, 2 processors)",
         ),
+        data=rows,
     )
     by_age = {r["age"]: r for r in rows}
     # message count falls monotonically with age (batching window grows)

@@ -52,7 +52,19 @@ def test_coalescing_reduces_async_flooding(benchmark, save_result):
         f"COALESCE: messages={coal.messages_sent} total_time={coal.total_time:.2f}s"
         f" quality={coal.best_fitness:.4g}",
     ]
-    save_result("ablation_coalesce", "\n".join(lines))
+    save_result(
+        "ablation_coalesce",
+        "\n".join(lines),
+        data=[
+            {
+                "policy": name,
+                "messages": r.messages_sent,
+                "total_time": r.total_time,
+                "best_fitness": r.best_fitness,
+            }
+            for name, r in (("eager", eager), ("coalesce", coal))
+        ],
+    )
     assert coal.messages_sent < eager.messages_sent
 
 
@@ -97,7 +109,7 @@ def test_switch_interconnect_rescues_sync(benchmark, save_result):
     sp = run_once(benchmark, all_runs)
     lines = ["A4 — interconnect ablation (network A, 2 processors, speedup vs serial)"]
     lines += [f"{k:12s}: {v:.2f}" for k, v in sp.items()]
-    save_result("ablation_switch", "\n".join(lines))
+    save_result("ablation_switch", "\n".join(lines), data=sp)
     # the switch removes most of sync's communication penalty...
     assert sp["sync_switch"] > 2.0 * sp["sync_eth"]
     # ...while Global_Read keeps its lead on the slow network

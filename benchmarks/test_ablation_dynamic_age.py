@@ -62,6 +62,7 @@ def test_dynamic_age(benchmark, save_result):
             ],
             title="A5 — static age grid vs runtime-adapted age (f1, 4 demes)",
         ),
+        data=rows,
     )
     for r in rows:
         best_static = max(r[f"age{a}"] for a in STATIC_AGES)

@@ -62,7 +62,21 @@ def test_gr_wait_vs_request(benchmark, save_result):
         f"REQUEST: completion={request['completion']:.3f}s messages={request['messages']}"
         f" blocks={request['gr'].blocked} requests={request['gr'].requests_sent}",
     ]
-    save_result("ablation_gr_impl", "\n".join(lines))
+    save_result(
+        "ablation_gr_impl",
+        "\n".join(lines),
+        data=[
+            {
+                "impl": name,
+                "completion": r["completion"],
+                "messages": r["messages"],
+                "blocks": r["gr"].blocked,
+                "block_time": r["gr"].block_time,
+                "requests_sent": r["gr"].requests_sent,
+            }
+            for name, r in (("wait", wait), ("request", request))
+        ],
+    )
     # the paper's rationale, quantified:
     assert wait["messages"] < request["messages"]
     assert wait["completion"] <= request["completion"] * 1.05

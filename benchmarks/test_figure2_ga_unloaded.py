@@ -15,7 +15,7 @@ from repro.experiments import format_figure2, run_figure2
 
 def test_figure2(benchmark, scale, save_result):
     rows = run_once(benchmark, run_figure2, scale)
-    save_result("figure2", format_figure2(rows))
+    save_result("figure2", format_figure2(rows), data=rows)
     assert [r["P"] for r in rows] == list(scale.processor_counts)
     for r in rows:
         sp = r["average"]

@@ -13,7 +13,7 @@ from repro.experiments import format_figure3, run_figure3
 
 def test_figure3(benchmark, scale, save_result):
     rows = run_once(benchmark, run_figure3, scale)
-    save_result("figure3", format_figure3(rows))
+    save_result("figure3", format_figure3(rows), data=rows)
     assert [r["network"] for r in rows] == ["A", "AA", "C", "Hailfinder", "average"]
     for r in rows:
         sp = r["speedups"]

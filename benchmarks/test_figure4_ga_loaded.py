@@ -12,7 +12,7 @@ from repro.experiments import format_figure4, run_figure4
 
 def test_figure4(benchmark, scale, save_result):
     rows = run_once(benchmark, run_figure4, scale)
-    save_result("figure4", format_figure4(rows))
+    save_result("figure4", format_figure4(rows), data=rows)
     loads = [r["load_mbps"] for r in rows]
     assert loads[0] == 0.0 and loads == sorted(loads)
     def best_gr(r):

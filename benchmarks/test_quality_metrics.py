@@ -17,7 +17,7 @@ def test_quality(benchmark, scale, save_result):
     fid = scale.ga_functions[0]
     counts = scale.processor_counts[:2]
     rows = run_once(benchmark, run_quality, scale, fid, counts)
-    save_result("quality", format_quality(rows, fid))
+    save_result("quality", format_quality(rows, fid), data=rows)
     by = {(r["P"], r["variant"]): r for r in rows}
     for P in counts:
         serial = by[(P, "serial")]

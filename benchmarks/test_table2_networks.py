@@ -11,7 +11,7 @@ from repro.experiments import format_table2, run_table2
 
 def test_table2(benchmark, save_result):
     rows = run_once(benchmark, run_table2)
-    save_result("table2", format_table2(rows))
+    save_result("table2", format_table2(rows), data=rows)
     by_name = {r["name"]: r for r in rows}
     assert set(by_name) == {"A", "AA", "C", "Hailfinder"}
     for r in rows:

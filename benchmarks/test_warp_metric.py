@@ -10,7 +10,7 @@ from repro.experiments import format_warp_study, run_warp_study
 
 def test_warp_study(benchmark, scale, save_result):
     res = run_once(benchmark, run_warp_study, scale)
-    save_result("warp_study", format_warp_study(res))
+    save_result("warp_study", format_warp_study(res), data=res)
     probe = res["probe"]
     assert abs(probe[0]["mean_warp"] - 1.0) < 0.02
     assert abs(probe[0]["max_warp"] - 1.0) < 0.02

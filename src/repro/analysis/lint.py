@@ -14,6 +14,15 @@ fixtures (``tests/analysis/fixtures``) live there so ``lint src tests``
 stays clean in CI.  Explicitly named files are always linted, even when
 an exclude matches — that is how the fixture tests assert the rules
 fire.
+
+Suppressions
+------------
+A line ending in ``# repro-lint: allow[RPR002]`` suppresses exactly the
+named rule(s) (comma-separated) on that line.  There is deliberately no
+blanket ``allow`` and no file-level pragma: each carve-out names its
+rule at the offending line, so suppressions are greppable and reviewed
+one by one.  The intended use is the documented exception to RPR002 —
+wall-clock reads inside benchmark-harness *timing* code.
 """
 
 from __future__ import annotations
@@ -21,8 +30,11 @@ from __future__ import annotations
 import ast
 import json
 import os
+import re
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, Sequence
+
+_ALLOW_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9, ]+)\]")
 
 #: path fragments never descended into when walking directories;
 #: shared between the lint CLI and any future vendored-code carve-outs
@@ -104,15 +116,30 @@ def lint_source(
     from repro.analysis.rules import ALL_RULES
 
     tree = ast.parse(source, filename=path)
+    allowed = _allowed_by_line(source)
     findings: list[Finding] = []
     for rule_cls in ALL_RULES:
         if select is not None and rule_cls.code not in select:
             continue
         rule = rule_cls(path)
         rule.visit(tree)
-        findings.extend(rule.findings)
+        findings.extend(
+            f for f in rule.findings if f.code not in allowed.get(f.line, ())
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def _allowed_by_line(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule codes allowed by an inline pragma."""
+    allowed: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_PRAGMA.search(text)
+        if m:
+            allowed[lineno] = frozenset(
+                code.strip() for code in m.group(1).split(",") if code.strip()
+            )
+    return allowed
 
 
 def lint_paths(

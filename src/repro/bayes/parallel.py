@@ -50,6 +50,7 @@ from repro.core.coherence import CoherenceMode
 from repro.core.dsm import Dsm
 from repro.core.global_read import GlobalReadStats
 from repro.core.location import SharedLocationSpec
+from repro.sim import CompletionCounter
 from repro.partition.metrics import edge_cut as _edge_cut
 from repro.partition.multilevel import best_of
 from repro.sim import Compute
@@ -351,8 +352,9 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
     handles = [
         machine.spawn_on(p, processor(p), name=f"bnproc{p}") for p in range(cfg.n_procs)
     ]
+    counter = CompletionCounter(handles)
     machine.kernel.run(
-        stop_when=lambda: recorder.converged or all(h.done for h in handles)
+        stop_when=lambda: recorder.converged or counter.remaining == 0
     )
     rb = RollbackStats()
     for st in states:

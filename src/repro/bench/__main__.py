@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.bench --scale smoke --out BENCH_ci.json``.
+
+Runs the microbenchmarks, the experiment suite timings and the golden
+determinism digests, writes one ``repro-bench/1`` JSON document, and
+exits 1 if any digest mismatches (so CI's bench-smoke job gates the
+kernel fast path's bit-identity promise, not just its speed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.determinism import _PRODUCERS, check_digests
+from repro.bench.harness import make_payload, next_bench_path, write_bench
+from repro.bench.micro import run_micro
+from repro.bench.suite import run_suite
+from repro.experiments.config import Scale
+from repro.experiments.runner import configured_jobs
+
+_SCALES = {"smoke": Scale.smoke, "default": Scale.default, "full": Scale.full}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    parser.add_argument("--out", default=None, help="output path (default: next BENCH_<n>.json)")
+    parser.add_argument("--jobs", type=int, default=None, help="parallel worker count (default: REPRO_JOBS)")
+    parser.add_argument("--repeat", type=int, default=2, help="micro-benchmark repeats (best-of)")
+    parser.add_argument("--skip-suite", action="store_true", help="micro + digests only")
+    parser.add_argument(
+        "--print-digests",
+        action="store_true",
+        help="print current digests (to refresh GOLDEN after an intentional change) and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.print_digests:
+        for name, producer in _PRODUCERS.items():
+            print(f'    "{name}": "{producer()}",')
+        return 0
+
+    scale = _SCALES[args.scale]()
+    jobs = configured_jobs() if args.jobs is None else args.jobs
+
+    print(f"[bench] micro (repeat={args.repeat}) ...", flush=True)
+    micro = run_micro(repeat=args.repeat)
+
+    experiments: dict = {}
+    determinism = {}
+    if not args.skip_suite:
+        print(f"[bench] experiment suite (scale={args.scale}, jobs={jobs}) ...", flush=True)
+        experiments, determinism = run_suite(scale, jobs=jobs)
+
+    print("[bench] determinism digests ...", flush=True)
+    determinism.update(check_digests())
+
+    payload = make_payload(args.scale, jobs, micro, experiments, determinism)
+    out = next_bench_path() if args.out is None else args.out
+    write_bench(out, payload)
+    print(f"[bench] wrote {out}")
+
+    failed = [name for name, r in determinism.items() if not r["ok"]]
+    for name in failed:
+        r = determinism[name]
+        print(
+            f"[bench] DETERMINISM MISMATCH {name}: {r['digest']} != golden {r['golden']}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

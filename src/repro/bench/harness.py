@@ -1,0 +1,121 @@
+"""Bench plumbing: timing, environment capture and the BENCH JSON schema.
+
+Every bench run writes one JSON document so the repository accumulates a
+*performance trajectory* — ``BENCH_1.json``, ``BENCH_2.json``, ... at the
+repo root, one per PR — that future changes can be compared against.
+
+Schema (``repro-bench/1``)
+--------------------------
+::
+
+    {
+      "schema": "repro-bench/1",
+      "scale": "smoke",                  # REPRO_SCALE preset used
+      "jobs": 4,                         # worker count for parallel timings
+      "env": {"python": ..., "platform": ..., "cpu_count": ...},
+      "micro": {                         # kernel/application microbenchmarks
+        "kernel_events_per_sec": float,
+        "ga_generations_per_sec": float,
+        "bayes_samples_per_sec": float,
+        ...                              # one key per metric, flat
+      },
+      "experiments": {                   # smoke-scale end-to-end timings
+        "figure2": {"wall_s": float, "serial_wall_s": float,
+                     "parallel_speedup": float},
+        "figure3": {"wall_s": float},
+        ...
+      },
+      "determinism": {                   # golden-digest check results
+        "kernel_trace": {"digest": "...", "golden": "...", "ok": true},
+        ...
+      }
+    }
+
+``wall_s`` is the best of ``repeat`` runs (wall-clock seconds measured
+with ``time.perf_counter``); rates are derived from the same best run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+SCHEMA_VERSION = "repro-bench/1"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def timed(fn: Callable[..., Any], *args: Any, repeat: int = 1, **kwargs: Any):
+    """Run ``fn(*args, **kwargs)`` ``repeat`` times; return (result, best_s)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()  # repro-lint: allow[RPR002] — harness timing
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)  # repro-lint: allow[RPR002]
+    return result, best
+
+
+def env_info() -> dict:
+    """Provenance block: enough to interpret a trajectory point."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "repro_jobs": os.environ.get("REPRO_JOBS"),
+        "repro_scale": os.environ.get("REPRO_SCALE"),
+    }
+
+
+def next_bench_path(root: Path | str = ".") -> Path:
+    """Next free ``BENCH_<n>.json`` under ``root`` (n = max existing + 1)."""
+    root = Path(root)
+    taken = [
+        int(m.group(1))
+        for p in root.glob("BENCH_*.json")
+        if (m := _BENCH_NAME.match(p.name))
+    ]
+    return root / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def make_payload(
+    scale: str,
+    jobs: int,
+    micro: dict | None = None,
+    experiments: dict | None = None,
+    determinism: dict | None = None,
+) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "jobs": jobs,
+        "unix_time": time.time(),  # repro-lint: allow[RPR002] — provenance stamp
+        "env": env_info(),
+        "micro": micro or {},
+        "experiments": experiments or {},
+        "determinism": determinism or {},
+    }
+
+
+def write_bench(path: Path | str, payload: dict) -> Path:
+    """Write one trajectory point; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trajectory(root: Path | str = ".") -> list[tuple[int, dict]]:
+    """All ``BENCH_<n>.json`` points under ``root``, sorted by n."""
+    root = Path(root)
+    points = []
+    for p in root.glob("BENCH_*.json"):
+        m = _BENCH_NAME.match(p.name)
+        if m:
+            points.append((int(m.group(1)), json.loads(p.read_text())))
+    return sorted(points, key=lambda t: t[0])

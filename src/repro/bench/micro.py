@@ -1,0 +1,121 @@
+"""Kernel and application microbenchmarks.
+
+Three rates anchor the perf trajectory:
+
+* ``kernel_events_per_sec`` — raw discrete-event throughput on a mixed
+  workload (same-instant resumptions, timed computes, signal wakeups,
+  cooperative yields, joins) that exercises every kernel fast path;
+* ``ga_generations_per_sec`` — the serial GA baseline, numpy-bound;
+* ``bayes_samples_per_sec`` — serial logic sampling, numpy-bound.
+
+All workloads are deterministic (fixed seeds, no wall-clock dependence in
+the *simulated* results); only the measured wall time varies run to run,
+which is why :func:`repro.bench.harness.timed` keeps the best of
+``repeat``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import timed
+from repro.ga.functions import get_function
+from repro.ga.sga import run_serial_ga
+from repro.sim import Compute, Join, Kernel, Signal, WaitSignal, Yield
+
+
+def build_kernel_workload(
+    n_workers: int = 40, n_steps: int = 300, seed: int = 1, tracer=None
+) -> Kernel:
+    """A finite mixed workload touching every kernel scheduling path."""
+    kernel = Kernel(seed=seed, tracer=tracer)
+    tick = Signal("tick")
+    n_fires = n_steps // 4
+
+    def worker(i: int):
+        for s in range(n_steps):
+            yield Compute(0.0005 * ((i + s) % 7))  # mixes 0.0 and timed
+            if (s & 15) == 0:
+                yield Yield()
+
+    def ticker():
+        for _ in range(n_fires):
+            yield Compute(0.004)
+            tick.fire()
+
+    def listener():
+        for _ in range(n_fires):
+            yield WaitSignal(tick)
+            yield Compute(0.0001)
+
+    def joiner(handle):
+        result = yield Join(handle)
+        return result
+
+    handles = [kernel.spawn(worker(i), name=f"w{i}") for i in range(n_workers)]
+    kernel.spawn(ticker(), name="ticker")
+    for j in range(4):
+        kernel.spawn(listener(), name=f"l{j}")
+    kernel.spawn(joiner(handles[0]), name="joiner")
+    return kernel
+
+
+def bench_kernel(n_workers: int = 40, n_steps: int = 300, repeat: int = 3) -> dict:
+    """Events/sec of the mixed workload under the no-tracer fast loop."""
+
+    def one_run() -> int:
+        kernel = build_kernel_workload(n_workers, n_steps)
+        kernel.run()
+        return kernel.events_executed
+
+    events, best_s = timed(one_run, repeat=repeat)
+    return {
+        "kernel_events": float(events),
+        "kernel_wall_s": best_s,
+        "kernel_events_per_sec": events / best_s,
+    }
+
+
+def bench_ga(
+    fid: int = 1, n_generations: int = 150, population_size: int = 100, repeat: int = 2
+) -> dict:
+    """Serial-GA generations/sec (the numpy-bound application hot loop)."""
+    fn = get_function(fid)
+    _, best_s = timed(
+        run_serial_ga,
+        fn,
+        repeat=repeat,
+        seed=0,
+        n_generations=n_generations,
+        population_size=population_size,
+    )
+    return {
+        "ga_generations": float(n_generations),
+        "ga_wall_s": best_s,
+        "ga_generations_per_sec": n_generations / best_s,
+    }
+
+
+def bench_bayes(network: str = "Hailfinder", repeat: int = 2) -> dict:
+    """Serial logic-sampling samples/sec on one Table 2 network."""
+    from repro.bayes.logic_sampling import run_serial_logic_sampling
+    from repro.experiments.table2 import build_network, pick_query
+
+    net = build_network(network)
+    query = pick_query(net, seed=0)
+    result, best_s = timed(
+        run_serial_logic_sampling, net, repeat=repeat, query=query, seed=7
+    )
+    return {
+        "bayes_network": network,
+        "bayes_samples": float(result.n_runs),
+        "bayes_wall_s": best_s,
+        "bayes_samples_per_sec": result.n_runs / best_s,
+    }
+
+
+def run_micro(repeat: int = 2) -> dict:
+    """The full micro suite as one flat dict (the BENCH ``micro`` block)."""
+    out: dict = {}
+    out.update(bench_kernel(repeat=repeat))
+    out.update(bench_ga(repeat=repeat))
+    out.update(bench_bayes(repeat=repeat))
+    return out

@@ -1,0 +1,66 @@
+"""End-to-end experiment timings (the BENCH ``experiments`` block).
+
+Times every paper experiment at the requested scale.  Figure 2 — the
+largest fan-out — is additionally run serially so the point records the
+``parallel_speedup`` delivered by the :mod:`repro.experiments.runner`
+fan-out at the chosen job count, and the serial/parallel row sets are
+compared for bit-identity (any divergence is a determinism bug, reported
+in the ``determinism`` block as ``figure2_parallel_identical``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.harness import timed
+from repro.experiments.config import Scale
+
+
+def _experiment_runners(scale: Scale, jobs: int) -> dict[str, Callable[[], object]]:
+    from repro.experiments import (
+        run_figure3,
+        run_figure4,
+        run_table1,
+        run_table2,
+        run_warp_study,
+    )
+    from repro.experiments.quality import run_quality
+
+    return {
+        "figure3": lambda: run_figure3(scale, jobs=jobs),
+        "figure4": lambda: run_figure4(scale, jobs=jobs),
+        "table1": lambda: run_table1(jobs=jobs),
+        "table2": lambda: run_table2(jobs=jobs),
+        "quality": lambda: run_quality(scale, jobs=jobs),
+        "warp_study": lambda: run_warp_study(scale, jobs=jobs),
+    }
+
+
+def run_suite(scale: Scale, jobs: int = 1) -> tuple[dict, dict]:
+    """Time the experiment suite; returns (experiments, extra_determinism)."""
+    from repro.experiments import run_figure2
+
+    experiments: dict = {}
+
+    serial_rows, serial_s = timed(run_figure2, scale, jobs=1)
+    figure2 = {"serial_wall_s": serial_s, "wall_s": serial_s, "parallel_speedup": 1.0}
+    identical = True
+    if jobs > 1:
+        parallel_rows, parallel_s = timed(run_figure2, scale, jobs=jobs)
+        identical = parallel_rows == serial_rows
+        figure2["wall_s"] = parallel_s
+        figure2["parallel_speedup"] = serial_s / parallel_s
+    experiments["figure2"] = figure2
+
+    for name, runner in _experiment_runners(scale, jobs).items():
+        _, wall_s = timed(runner)
+        experiments[name] = {"wall_s": wall_s}
+
+    extra_determinism = {
+        "figure2_parallel_identical": {
+            "digest": "identical" if identical else "diverged",
+            "golden": "identical",
+            "ok": identical,
+        }
+    }
+    return experiments, extra_determinism

@@ -18,7 +18,7 @@ from repro.network.loader import LoaderConfig, NetworkLoader
 from repro.network.switch import SwitchConfig, SwitchNetwork
 from repro.network.warp import WarpMeter
 from repro.pvm.vm import PvmOverheads, Task, VirtualMachine
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import CompletionCounter, Kernel
 from repro.sim.process import ProcessHandle
 
 
@@ -126,8 +126,9 @@ class Machine:
         """
         if not self._handles:
             raise RuntimeError("no application processes spawned")
+        counter = CompletionCounter(self._handles)
         self.kernel.run(
-            stop_when=lambda: all(h.done for h in self._handles),
+            stop_when=counter.all_done,
             until=until,
             max_events=max_events,
         )

@@ -10,6 +10,7 @@ overrides the choice in the benchmark harness.
 """
 
 from repro.experiments.config import Scale, current_scale
+from repro.experiments.runner import configured_jobs, parallel_map
 from repro.experiments.speedup import GaVariant, VARIANTS, best_competitor_gain
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import run_table2, format_table2
@@ -21,6 +22,8 @@ from repro.experiments.warp_study import run_warp_study, format_warp_study
 __all__ = [
     "Scale",
     "current_scale",
+    "configured_jobs",
+    "parallel_map",
     "GaVariant",
     "VARIANTS",
     "best_competitor_gain",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import (
     GaVariant,
     best_competitor_gain,
@@ -19,21 +20,35 @@ from repro.experiments.speedup import (
 )
 
 
-def run_figure2(scale: Scale | None = None) -> list[dict]:
+def run_figure2(scale: Scale | None = None, jobs: int | None = None) -> list[dict]:
     """One row per processor count: per-variant speedups for f1 and the
-    all-function average, plus the best-vs-competitor gain."""
+    all-function average, plus the best-vs-competitor gain.
+
+    The (P × function × seed) replicas are independent; they fan out
+    across cores via :func:`~repro.experiments.runner.parallel_map`
+    (``REPRO_JOBS``) and are merged in configuration-key order, so the
+    rows are bit-identical to a serial run.
+    """
     scale = scale or current_scale()
     variants = GaVariant.standard_set(scale.ages)
     labels = [v.label for v in variants]
+    keys = [
+        (P, fid, r)
+        for P in scale.processor_counts
+        for fid in scale.ga_functions
+        for r in range(scale.ga_runs)
+    ]
+    trials = parallel_map(
+        run_ga_trial,
+        [(scale, fid, P, 1000 * r + fid, variants) for (P, fid, r) in keys],
+        jobs=jobs,
+    )
+    by_cell: dict[tuple[int, int], list] = {}
+    for (P, fid, _r), trial in zip(keys, trials):
+        by_cell.setdefault((P, fid), []).append(trial)
     rows = []
     for P in scale.processor_counts:
-        trials_by_fid = {
-            fid: [
-                run_ga_trial(scale, fid, P, seed=1000 * r + fid, variants=variants)
-                for r in range(scale.ga_runs)
-            ]
-            for fid in scale.ga_functions
-        }
+        trials_by_fid = {fid: by_cell[(P, fid)] for fid in scale.ga_functions}
         best_fid = scale.ga_functions[0]  # function 1 when present
         best_case = speedups_over_trials(trials_by_fid[best_fid], labels)
         all_trials = [t for ts in trials_by_fid.values() for t in ts]

@@ -14,8 +14,9 @@ from repro.bayes.parallel import ParallelLsConfig, run_parallel_logic_sampling
 from repro.core.coherence import CoherenceMode
 from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import best_competitor_gain, machine_for
-from repro.experiments.table2 import pick_query, table2_networks
+from repro.experiments.table2 import NETWORK_NAMES, build_network, pick_query
 
 
 def _variants(scale: Scale) -> list[tuple[str, CoherenceMode, int]]:
@@ -27,39 +28,67 @@ def _variants(scale: Scale) -> list[tuple[str, CoherenceMode, int]]:
     return out
 
 
-def run_figure3(scale: Scale | None = None, n_procs: int = 2) -> list[dict]:
+def _figure3_cell(
+    scale: Scale,
+    net_name: str,
+    r: int,
+    variants: list[tuple[str, CoherenceMode, int]],
+    n_procs: int,
+) -> tuple[float, dict[str, float]]:
+    """One (network × run) replica: serial time plus per-variant time.
+
+    Rebuilds the network from its name (deterministic, cheap) so the
+    replica is self-contained and picklable for the parallel runner.
+    """
+    net = build_network(net_name)
+    seed = 500 * r + 7
+    query = pick_query(net, seed=0)
+    serial = run_serial_logic_sampling(net, query=query, seed=seed)
+    par: dict[str, float] = {}
+    for label, mode, age in variants:
+        pr = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=net,
+                query=query,
+                n_procs=n_procs,
+                mode=mode,
+                age=age,
+                seed=seed,
+                machine=machine_for(scale, n_procs, seed),
+                max_iterations=scale.bn_max_iterations,
+            )
+        )
+        # a non-converged run is charged the time it spent
+        par[label] = (
+            pr.completion_time
+            if pr.completion_time is not None
+            else serial.sim_time * 10.0
+        )
+    return serial.sim_time, par
+
+
+def run_figure3(
+    scale: Scale | None = None, n_procs: int = 2, jobs: int | None = None
+) -> list[dict]:
     scale = scale or current_scale()
     variants = _variants(scale)
+    keys = [(name, r) for name in NETWORK_NAMES for r in range(scale.bn_runs)]
+    cells = parallel_map(
+        _figure3_cell,
+        [(scale, name, r, variants, n_procs) for (name, r) in keys],
+        jobs=jobs,
+    )
+    by_net: dict[str, list[tuple[float, dict[str, float]]]] = {}
+    for (name, _r), cell in zip(keys, cells):
+        by_net.setdefault(name, []).append(cell)
     rows = []
     totals: dict[str, float] = {label: 0.0 for label, _, _ in variants}
     serial_total = 0.0
-    for net_proto in table2_networks():
-        serial_times = []
-        par_times: dict[str, list[float]] = {label: [] for label, _, _ in variants}
-        for r in range(scale.bn_runs):
-            seed = 500 * r + 7
-            query = pick_query(net_proto, seed=0)
-            serial = run_serial_logic_sampling(net_proto, query=query, seed=seed)
-            serial_times.append(serial.sim_time)
-            for label, mode, age in variants:
-                pr = run_parallel_logic_sampling(
-                    ParallelLsConfig(
-                        net=net_proto,
-                        query=query,
-                        n_procs=n_procs,
-                        mode=mode,
-                        age=age,
-                        seed=seed,
-                        machine=machine_for(scale, n_procs, seed),
-                        max_iterations=scale.bn_max_iterations,
-                    )
-                )
-                # a non-converged run is charged the time it spent
-                par_times[label].append(
-                    pr.completion_time
-                    if pr.completion_time is not None
-                    else serial.sim_time * 10.0
-                )
+    for net_name in NETWORK_NAMES:
+        serial_times = [c[0] for c in by_net[net_name]]
+        par_times: dict[str, list[float]] = {
+            label: [c[1][label] for c in by_net[net_name]] for label, _, _ in variants
+        }
         serial_sum = sum(serial_times)
         serial_total += serial_sum
         speedups = {}
@@ -70,7 +99,7 @@ def run_figure3(scale: Scale | None = None, n_procs: int = 2) -> list[dict]:
         best_label, gain = best_competitor_gain(speedups)
         rows.append(
             {
-                "network": net_proto.name,
+                "network": net_name,
                 "speedups": speedups,
                 "best_gr": best_label,
                 "gain_over_best_competitor": gain,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import (
     GaVariant,
     best_competitor_gain,
@@ -24,22 +25,31 @@ from repro.experiments.speedup import (
 FIGURE4_PROCS = 4
 
 
-def run_figure4(scale: Scale | None = None) -> list[dict]:
+def run_figure4(scale: Scale | None = None, jobs: int | None = None) -> list[dict]:
     scale = scale or current_scale()
     variants = GaVariant.standard_set(scale.ages)
     labels = [v.label for v in variants]
+    loads = (0.0, *scale.loads_bps)
+    keys = [
+        (load, fid, r)
+        for load in loads
+        for fid in scale.ga_functions
+        for r in range(scale.ga_runs)
+    ]
+    trials = parallel_map(
+        run_ga_trial,
+        [
+            (scale, fid, FIGURE4_PROCS, 1000 * r + fid, variants, load)
+            for (load, fid, r) in keys
+        ],
+        jobs=jobs,
+    )
+    by_cell: dict[tuple[float, int], list] = {}
+    for (load, fid, _r), trial in zip(keys, trials):
+        by_cell.setdefault((load, fid), []).append(trial)
     rows = []
-    for load in (0.0, *scale.loads_bps):
-        trials_by_fid = {
-            fid: [
-                run_ga_trial(
-                    scale, fid, FIGURE4_PROCS, seed=1000 * r + fid,
-                    variants=variants, load_bps=load,
-                )
-                for r in range(scale.ga_runs)
-            ]
-            for fid in scale.ga_functions
-        }
+    for load in loads:
+        trials_by_fid = {fid: by_cell[(load, fid)] for fid in scale.ga_functions}
         best_fid = scale.ga_functions[0]
         best_case = speedups_over_trials(trials_by_fid[best_fid], labels)
         all_trials = [t for ts in trials_by_fid.values() for t in ts]

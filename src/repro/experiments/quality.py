@@ -16,16 +16,39 @@ import numpy as np
 
 from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import GaVariant, machine_for
 from repro.ga.functions import get_function
 from repro.ga.island import IslandGaConfig, run_island_ga
 from repro.ga.sga import run_serial_ga
 
 
+def _quality_run(
+    scale: Scale, fid: int, P: int, variant: GaVariant | None, seed: int
+) -> float:
+    """Final best fitness of one (P, variant, seed) replica."""
+    fn = get_function(fid)
+    if variant is None:  # the serial baseline
+        s = run_serial_ga(
+            fn, seed=seed, n_generations=scale.ga_generations,
+            population_size=50 * P,
+        )
+        return s.best_fitness
+    res = run_island_ga(
+        IslandGaConfig(
+            fn=fn, n_demes=P, mode=variant.mode, age=variant.age,
+            n_generations=scale.ga_generations, seed=seed,
+            machine=machine_for(scale, P, seed),
+        )
+    )
+    return res.best_fitness
+
+
 def run_quality(
     scale: Scale | None = None,
     fid: int | None = None,
     processor_counts: tuple[int, ...] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Per (P, variant): optimum-found count and mean final best fitness."""
     scale = scale or current_scale()
@@ -33,39 +56,28 @@ def run_quality(
     fn = get_function(fid)
     counts = processor_counts or scale.processor_counts
     variants = GaVariant.standard_set(scale.ages)
+    cells = [(P, variant) for P in counts for variant in [None, *variants]]
+    keys = [(P, variant, r) for (P, variant) in cells for r in range(scale.ga_runs)]
+    finals = parallel_map(
+        _quality_run,
+        [(scale, fid, P, variant, 1000 * r + fid) for (P, variant, r) in keys],
+        jobs=jobs,
+    )
+    by_cell: dict[tuple, list[float]] = {}
+    for (P, variant, _r), best in zip(keys, finals):
+        by_cell.setdefault((P, variant), []).append(best)
     rows = []
-    for P in counts:
-        for variant in [None, *variants]:  # None = the serial baseline
-            found = 0
-            finals = []
-            for r in range(scale.ga_runs):
-                seed = 1000 * r + fid
-                if variant is None:
-                    s = run_serial_ga(
-                        fn, seed=seed, n_generations=scale.ga_generations,
-                        population_size=50 * P,
-                    )
-                    best = s.best_fitness
-                else:
-                    res = run_island_ga(
-                        IslandGaConfig(
-                            fn=fn, n_demes=P, mode=variant.mode, age=variant.age,
-                            n_generations=scale.ga_generations, seed=seed,
-                            machine=machine_for(scale, P, seed),
-                        )
-                    )
-                    best = res.best_fitness
-                finals.append(best)
-                found += int(best <= fn.optimum_threshold)
-            rows.append(
-                {
-                    "P": P,
-                    "variant": variant.label if variant else "serial",
-                    "optimum_found": found,
-                    "runs": scale.ga_runs,
-                    "mean_final_best": float(np.mean(finals)),
-                }
-            )
+    for P, variant in cells:
+        bests = by_cell[(P, variant)]
+        rows.append(
+            {
+                "P": P,
+                "variant": variant.label if variant else "serial",
+                "optimum_found": sum(int(b <= fn.optimum_threshold) for b in bests),
+                "runs": scale.ga_runs,
+                "mean_final_best": float(np.mean(bests)),
+            }
+        )
     return rows
 
 

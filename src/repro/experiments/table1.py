@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.reporting import text_table
-from repro.ga.functions import TEST_FUNCTIONS, f4_noiseless
+from repro.experiments.runner import parallel_map
+from repro.ga.functions import TEST_FUNCTIONS, f4_noiseless, get_function
 
 #: known optimizer of each function (used to verify the `min f(x)` column)
 _OPTIMA = {
@@ -26,32 +27,33 @@ _OPTIMA = {
 }
 
 
-def run_table1() -> list[dict]:
+def _table1_row(fid: int) -> dict:
+    """One function's row (independent replica for the parallel runner)."""
+    fn = get_function(fid)
+    x = np.clip(_OPTIMA[fn.fid], fn.lower, fn.upper)[None, :]
+    measured = float(f4_noiseless(x)[0]) if fn.noisy else float(fn(x)[0])
+    return {
+        "fid": fn.fid,
+        "name": fn.name,
+        "n_vars": fn.n_vars,
+        "limits": f"[{fn.lower}, {fn.upper}]",
+        "paper_min": fn.min_value,
+        "measured_min": measured,
+        "bits_per_var": fn.bits_per_var,
+        # F4's listed minimum (≤ −2.5) is the *noisy* floor; its
+        # noiseless part is 0 at the optimum, which is what we can
+        # verify deterministically.
+        "matches": (
+            abs(measured) < 0.5
+            if fn.noisy
+            else abs(measured - fn.min_value) < 0.5
+        ),
+    }
+
+
+def run_table1(jobs: int | None = None) -> list[dict]:
     """One row per test function, with the measured minimum."""
-    rows = []
-    for fn in TEST_FUNCTIONS:
-        x = np.clip(_OPTIMA[fn.fid], fn.lower, fn.upper)[None, :]
-        measured = float(f4_noiseless(x)[0]) if fn.noisy else float(fn(x)[0])
-        rows.append(
-            {
-                "fid": fn.fid,
-                "name": fn.name,
-                "n_vars": fn.n_vars,
-                "limits": f"[{fn.lower}, {fn.upper}]",
-                "paper_min": fn.min_value,
-                "measured_min": measured,
-                "bits_per_var": fn.bits_per_var,
-                # F4's listed minimum (≤ −2.5) is the *noisy* floor; its
-                # noiseless part is 0 at the optimum, which is what we can
-                # verify deterministically.
-                "matches": (
-                    abs(measured) < 0.5
-                    if fn.noisy
-                    else abs(measured - fn.min_value) < 0.5
-                ),
-            }
-        )
-    return rows
+    return parallel_map(_table1_row, [(fn.fid,) for fn in TEST_FUNCTIONS], jobs=jobs)
 
 
 def format_table1(rows: list[dict]) -> str:

@@ -13,6 +13,7 @@ from repro.bayes.logic_sampling import run_serial_logic_sampling
 from repro.bayes.network import BayesianNetwork
 from repro.bayes.random_nets import make_table2_network
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.partition.metrics import edge_cut
 from repro.partition.multilevel import best_of
 
@@ -24,15 +25,24 @@ PAPER_TABLE2 = {
     "Hailfinder": {"edge_cut": 4, "inference_time": 3.15},
 }
 
+#: Table 2's row order
+NETWORK_NAMES = ("A", "AA", "C", "Hailfinder")
+
+
+def build_network(name: str, seed: int = 0) -> BayesianNetwork:
+    """Deterministically (re)build one Table 2 network by name.
+
+    Workers in the parallel runner rebuild networks from (name, seed)
+    instead of pickling them across the pool — same seed, same network.
+    """
+    if name == "Hailfinder":
+        return make_hailfinder(seed=seed)
+    return make_table2_network(name, seed=seed)
+
 
 def table2_networks(seed: int = 0) -> list[BayesianNetwork]:
     """The four networks, in Table 2's order."""
-    return [
-        make_table2_network("A", seed=seed),
-        make_table2_network("AA", seed=seed),
-        make_table2_network("C", seed=seed),
-        make_hailfinder(seed=seed),
-    ]
+    return [build_network(name, seed) for name in NETWORK_NAMES]
 
 
 def pick_query(net: BayesianNetwork, seed: int = 0) -> int:
@@ -44,30 +54,33 @@ def pick_query(net: BayesianNetwork, seed: int = 0) -> int:
     return max(sinks, key=lambda v: (1.0 - max(marginals[v]), v))
 
 
-def run_table2(seed: int = 0) -> list[dict]:
-    rows = []
-    for net in table2_networks(seed):
-        parts = best_of(net.skeleton(), 2, tries=4, seed=seed)
-        cut = edge_cut(net.skeleton(), parts)
-        query = pick_query(net, seed)
-        serial = run_serial_logic_sampling(net, query=query, seed=seed)
-        paper = PAPER_TABLE2[net.name]
-        rows.append(
-            {
-                "name": net.name,
-                "nodes": net.n_nodes,
-                "edges_per_node": net.edges_per_node,
-                "values_per_node": net.max_values_per_node,
-                "edge_cut": cut,
-                "paper_edge_cut": paper["edge_cut"],
-                "inference_time": serial.sim_time,
-                "paper_inference_time": paper["inference_time"],
-                "query": query,
-                "runs": serial.n_runs,
-                "converged": serial.converged,
-            }
-        )
-    return rows
+def _table2_row(name: str, seed: int) -> dict:
+    """One network's complete Table 2 row (independent replica)."""
+    net = build_network(name, seed)
+    parts = best_of(net.skeleton(), 2, tries=4, seed=seed)
+    cut = edge_cut(net.skeleton(), parts)
+    query = pick_query(net, seed)
+    serial = run_serial_logic_sampling(net, query=query, seed=seed)
+    paper = PAPER_TABLE2[net.name]
+    return {
+        "name": net.name,
+        "nodes": net.n_nodes,
+        "edges_per_node": net.edges_per_node,
+        "values_per_node": net.max_values_per_node,
+        "edge_cut": cut,
+        "paper_edge_cut": paper["edge_cut"],
+        "inference_time": serial.sim_time,
+        "paper_inference_time": paper["inference_time"],
+        "query": query,
+        "runs": serial.n_runs,
+        "converged": serial.converged,
+    }
+
+
+def run_table2(seed: int = 0, jobs: int | None = None) -> list[dict]:
+    return parallel_map(
+        _table2_row, [(name, seed) for name in NETWORK_NAMES], jobs=jobs
+    )
 
 
 def format_table2(rows: list[dict]) -> str:

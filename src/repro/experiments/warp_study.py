@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.core.coherence import CoherenceMode
 from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import machine_for
 from repro.ga.functions import get_function
 from repro.ga.island import IslandGaConfig, run_island_ga
@@ -85,20 +86,23 @@ def ga_warp(scale: Scale, mode: CoherenceMode, age: int, load_bps: float) -> flo
     return r.mean_warp
 
 
-def run_warp_study(scale: Scale | None = None) -> dict:
+def run_warp_study(scale: Scale | None = None, jobs: int | None = None) -> dict:
     scale = scale or current_scale()
-    probe_rows = [probe_warp(load) for load in (0.0, *scale.loads_bps, 6e6)]
+    probe_rows = parallel_map(
+        probe_warp, [(load,) for load in (0.0, *scale.loads_bps, 6e6)], jobs=jobs
+    )
+    app_cells = [
+        ("async", CoherenceMode.ASYNCHRONOUS, 0),
+        (f"gr{scale.ages[-1]}", CoherenceMode.NON_STRICT, scale.ages[-1]),
+    ]
+    warps = parallel_map(
+        ga_warp,
+        [(scale, mode, age, scale.loads_bps[-1]) for (_, mode, age) in app_cells],
+        jobs=jobs,
+    )
     app_rows = [
-        {
-            "variant": "async",
-            "mean_warp": ga_warp(scale, CoherenceMode.ASYNCHRONOUS, 0, scale.loads_bps[-1]),
-        },
-        {
-            "variant": f"gr{scale.ages[-1]}",
-            "mean_warp": ga_warp(
-                scale, CoherenceMode.NON_STRICT, scale.ages[-1], scale.loads_bps[-1]
-            ),
-        },
+        {"variant": label, "mean_warp": w}
+        for (label, _, _), w in zip(app_cells, warps)
     ]
     return {"probe": probe_rows, "ga": app_rows}
 

@@ -42,7 +42,7 @@ from repro.ga.fitness_cache import FitnessCache
 from repro.ga.functions import TestFunction, reseed_f4
 from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
 from repro.ga.population import Population
-from repro.sim import Compute
+from repro.sim import CompletionCounter, Compute
 
 
 @dataclass(frozen=True)
@@ -259,8 +259,9 @@ def run_island_ga(cfg: IslandGaConfig, instrument=None) -> IslandGaResult:
         machine.spawn_on(d, _deme_process(cfg, dsm, d, recorder), name=f"deme{d}")
         for d in range(cfg.n_demes)
     ]
+    counter = CompletionCounter(handles)
     machine.kernel.run(
-        stop_when=lambda: recorder.done or all(h.done for h in handles)
+        stop_when=lambda: recorder.done or counter.remaining == 0
     )
     total_time = machine.kernel.now
     return IslandGaResult(

@@ -45,7 +45,7 @@ from repro.sim.process import (
     ProcessHandle,
     ProcessState,
 )
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import CompletionCounter, Kernel
 from repro.sim.rng import RngRegistry, stream_seed
 from repro.sim.trace import Tracer, TraceRecord
 
@@ -65,6 +65,7 @@ __all__ = [
     "ProcessHandle",
     "ProcessState",
     "Kernel",
+    "CompletionCounter",
     "RngRegistry",
     "stream_seed",
     "Tracer",

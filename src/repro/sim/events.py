@@ -6,13 +6,24 @@ therefore deterministic: two events scheduled for the same instant always
 pop in the order they were scheduled, independent of hash seeds or dict
 ordering.  Determinism of this queue is the foundation of every regression
 test in the repository.
+
+Fast path
+---------
+The vast majority of events in a real run are *same-instant* resumptions —
+the kernel's ``schedule(0.0, self._step, ...)`` calls issued by ``spawn``,
+signal wakeups and joins.  Those events never need heap ordering against
+future events: they fire at the current instant, in push order, before the
+clock can advance.  :meth:`EventQueue.push_immediate` therefore appends
+them to a plain FIFO lane and :meth:`EventQueue.pop` merges the lane with
+the heap under the exact ``(time, priority, seq)`` key, so the observable
+pop order — and hence every trace — is bit-identical to a heap-only queue
+while skipping the O(log n) sift on the hottest path.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
 
@@ -25,7 +36,6 @@ PRIORITY_NORMAL = 0
 PRIORITY_LATE = 10
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
@@ -46,12 +56,23 @@ class Event:
         skipped on pop (cheaper than heap surgery).
     """
 
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[..., Any]
-    args: tuple = field(default_factory=tuple)
-    cancelled: bool = False
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -65,13 +86,27 @@ class Event:
             other.seq,
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, fn={self.fn!r}, args={self.args!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of :class:`Event` objects with a same-instant
+    FIFO fast lane (see module docstring)."""
+
+    __slots__ = ("_heap", "_lane", "_seq", "_live")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: FIFO of PRIORITY_NORMAL events at the current instant; entries
+        #: are seq-ordered by construction, so the lane head is always the
+        #: lane's minimum under the (time, priority, seq) key.
+        self._lane: deque[Event] = deque()
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -93,8 +128,29 @@ class EventQueue:
         """
         if time != time:  # NaN check without importing math
             raise ValueError("event time is NaN")
-        ev = Event(time=time, priority=priority, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        _heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def push_immediate(self, now: float, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Fast lane for a PRIORITY_NORMAL event at the current instant.
+
+        The caller guarantees ``now`` is the simulation clock; the lane
+        drains before the clock can advance, so every lane entry shares the
+        same ``time`` and the FIFO order equals the global seq order.  A
+        defensive check falls back to the heap if that invariant would not
+        hold (e.g. a hand-driven queue used outside a kernel).
+        """
+        lane = self._lane
+        if lane and lane[-1].time != now:
+            return self.push(now, fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(now, PRIORITY_NORMAL, seq, fn, args)
+        lane.append(ev)
         self._live += 1
         return ev
 
@@ -106,18 +162,36 @@ class EventQueue:
 
     def pop(self) -> Event | None:
         """Pop and return the earliest live event, or ``None`` if empty."""
+        lane = self._lane
         heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
-                continue
+        while lane and lane[0].cancelled:
+            lane.popleft()
+        while heap and heap[0].cancelled:
+            _heappop(heap)
+        if lane:
+            # Lane entries are at the current instant with PRIORITY_NORMAL;
+            # a heap event beats them only with an earlier key (e.g. same
+            # time, same priority, smaller seq — pushed via schedule_at).
+            if heap and heap[0] < lane[0]:
+                self._live -= 1
+                return _heappop(heap)
             self._live -= 1
-            return ev
+            return lane.popleft()
+        if heap:
+            self._live -= 1
+            return _heappop(heap)
         return None
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event without popping, or ``None``."""
+        lane = self._lane
         heap = self._heap
+        while lane and lane[0].cancelled:
+            lane.popleft()
         while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+            _heappop(heap)
+        if lane and heap:
+            return min(lane[0].time, heap[0].time)
+        if lane:
+            return lane[0].time
         return heap[0].time if heap else None

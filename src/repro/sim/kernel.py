@@ -18,6 +18,13 @@ Design notes
   that livelocked configurations (a flooding asynchronous GA on a saturated
   network) terminate with :class:`~repro.sim.errors.SimulationLimitError`
   instead of hanging the test suite.
+* **Fast path.**  ``run()`` dispatches to a tight loop when no tracer,
+  budget or stop predicate is installed, same-instant resumptions ride the
+  event queue's FIFO fast lane, and yielded requests are routed through a
+  type-tag dispatch table instead of an ``isinstance`` chain.  None of this
+  changes the pop order: traces stay bit-identical to the slow path (the
+  determinism regression suite in ``tests/sim/test_determinism.py`` pins
+  this with golden digests).
 """
 
 from __future__ import annotations
@@ -39,6 +46,31 @@ from repro.sim.process import (
 )
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+
+
+class CompletionCounter:
+    """O(1) "are they all done?" check over a fixed set of process handles.
+
+    Counts terminations via per-handle watcher callbacks instead of
+    rescanning every handle after every event, turning the ubiquitous
+    ``stop_when=lambda: all(h.done for h in handles)`` from O(processes)
+    per event into a single integer comparison.
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, handles: Iterable[ProcessHandle]) -> None:
+        self.remaining = 0
+        for h in handles:
+            if not h.done:
+                self.remaining += 1
+                h._watchers.append(self._one_done)
+
+    def _one_done(self) -> None:
+        self.remaining -= 1
+
+    def all_done(self) -> bool:
+        return self.remaining == 0
 
 
 class Kernel:
@@ -75,6 +107,9 @@ class Kernel:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay == 0.0 and priority == PRIORITY_NORMAL:
+            # Same-instant fast lane: FIFO append, no heap sift.
+            return self.queue.push_immediate(self.now, fn, args)
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay!r})")
         return self.queue.push(self.now + delay, fn, args, priority=priority)
@@ -104,7 +139,7 @@ class Kernel:
             _kernel=self,
         )
         self.processes.append(handle)
-        self.schedule(0.0, self._step, handle, None)
+        self.queue.push_immediate(self.now, self._step, (handle, None))
         return handle
 
     def _wake_from_signal(self, handle: ProcessHandle, signal: Signal) -> None:
@@ -117,7 +152,13 @@ class Kernel:
                 s._waiters.remove(handle)
         handle._parked_on = ()
         handle.state = ProcessState.READY
-        self.schedule(0.0, self._step, handle, signal)
+        self.queue.push_immediate(self.now, self._step, (handle, signal))
+
+    def _notify_watchers(self, handle: ProcessHandle) -> None:
+        if handle._watchers:
+            watchers, handle._watchers = handle._watchers, []
+            for w in watchers:
+                w()
 
     def _finish(self, handle: ProcessHandle, result: Any) -> None:
         handle.state = ProcessState.DONE
@@ -125,11 +166,12 @@ class Kernel:
         joiners, handle._joiners = handle._joiners, []
         for j in joiners:
             j.state = ProcessState.READY
-            self.schedule(0.0, self._step, j, result)
+            self.queue.push_immediate(self.now, self._step, (j, result))
+        self._notify_watchers(handle)
 
     def _step(self, handle: ProcessHandle, send_value: Any) -> None:
         """Advance one process by one yield."""
-        if handle.done:
+        if handle.state in _TERMINAL_STATES:
             return
         handle.state = ProcessState.RUNNING
         try:
@@ -141,39 +183,53 @@ class Kernel:
             handle.state = ProcessState.FAILED
             handle.error = exc
             self._failure = ProcessFailure(handle.name, exc)
+            self._notify_watchers(handle)
             return
-        self._dispatch(handle, request)
+        handler = _DISPATCH.get(request.__class__)
+        if handler is None:
+            handler = _dispatch_slow(handle, request)
+        handler(self, handle, request)
+
+    # -- request handlers (type-tag dispatch, see _DISPATCH below) ------
+    def _do_compute(self, handle: ProcessHandle, request: Compute) -> None:
+        seconds = request.seconds
+        handle.state = ProcessState.COMPUTING
+        handle.busy_time += seconds
+        if seconds == 0.0:
+            self.queue.push_immediate(self.now, self._step, (handle, seconds))
+        else:
+            self.queue.push(self.now + seconds, self._step, (handle, seconds))
+
+    def _do_wait_signal(self, handle: ProcessHandle, request: WaitSignal) -> None:
+        handle.state = ProcessState.BLOCKED
+        handle._parked_on = (request.signal,)
+        request.signal._waiters.append(handle)
+
+    def _do_wait_any(self, handle: ProcessHandle, request: WaitAny) -> None:
+        handle.state = ProcessState.BLOCKED
+        handle._parked_on = request.signals
+        for s in request.signals:
+            s._waiters.append(handle)
+
+    def _do_yield(self, handle: ProcessHandle, request: Yield) -> None:
+        handle.state = ProcessState.READY
+        self.queue.push(self.now, self._step, (handle, None), priority=PRIORITY_LATE)
+
+    def _do_join(self, handle: ProcessHandle, request: Join) -> None:
+        target = request.handle
+        if target.done:
+            self.queue.push_immediate(self.now, self._step, (handle, target.result))
+        else:
+            handle.state = ProcessState.BLOCKED
+            handle._parked_on = ()
+            target._joiners.append(handle)
 
     def _dispatch(self, handle: ProcessHandle, request: Any) -> None:
         """Act on a request yielded by a process."""
-        if isinstance(request, Compute):
-            handle.state = ProcessState.COMPUTING
-            handle.busy_time += request.seconds
-            self.schedule(request.seconds, self._step, handle, request.seconds)
-        elif isinstance(request, WaitSignal):
-            handle.state = ProcessState.BLOCKED
-            handle._parked_on = (request.signal,)
-            request.signal._waiters.append(handle)
-        elif isinstance(request, WaitAny):
-            handle.state = ProcessState.BLOCKED
-            handle._parked_on = request.signals
-            for s in request.signals:
-                s._waiters.append(handle)
-        elif isinstance(request, Yield):
-            handle.state = ProcessState.READY
-            self.schedule(0.0, self._step, handle, None, priority=PRIORITY_LATE)
-        elif isinstance(request, Join):
-            target = request.handle
-            if target.done:
-                self.schedule(0.0, self._step, handle, target.result)
-            else:
-                handle.state = ProcessState.BLOCKED
-                handle._parked_on = ()
-                target._joiners.append(handle)
-        else:
-            raise TypeError(
-                f"process {handle.name!r} yielded unsupported request {request!r}"
-            )
+        handler = _DISPATCH.get(request.__class__)
+        if handler is None:
+            handler = _dispatch_slow(handle, request)
+        handler(self, handle, request)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -203,7 +259,19 @@ class Kernel:
             If the queue drains while processes are still blocked.
         ProcessFailure
             If any process raised; the original exception is chained.
+        RuntimeError
+            If the queue yields an event earlier than the current clock
+            (a corrupted queue — e.g. events pushed into the past through
+            the raw :class:`EventQueue` API).
         """
+        if (
+            until is None
+            and max_events is None
+            and stop_when is None
+            and self.tracer is None
+        ):
+            self._run_fast()
+            return
         while True:
             if self._failure is not None:
                 failure, self._failure = self._failure, None
@@ -222,17 +290,54 @@ class Kernel:
                 raise SimulationLimitError(
                     "event-count", max_events, self.now, self._events_executed
                 )
-            assert ev.time >= self.now, "event queue violated time order"
+            if ev.time < self.now:
+                raise RuntimeError(
+                    f"event queue violated time order: popped t={ev.time!r} "
+                    f"behind the clock at t={self.now!r}"
+                )
             self.now = ev.time
             self._events_executed += 1
             if self.tracer is not None:
                 self.tracer.record(self.now, ev)
             ev.fn(*ev.args)
 
+    def _run_fast(self) -> None:
+        """Branch-lean main loop: no tracer, no budgets, no stop predicate.
+
+        Executes the exact same events in the exact same order as the
+        general loop — it only skips the per-event checks that are
+        statically known to be disabled for this call.
+        """
+        queue_pop = self.queue.pop
+        while True:
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise failure from failure.original
+            ev = queue_pop()
+            if ev is None:
+                self._check_deadlock()
+                return
+            time = ev.time
+            if time < self.now:
+                raise RuntimeError(
+                    f"event queue violated time order: popped t={time!r} "
+                    f"behind the clock at t={self.now!r}"
+                )
+            self.now = time
+            self._events_executed += 1
+            ev.fn(*ev.args)
+
     def run_until_done(self, handles: Iterable[ProcessHandle], **kw: Any) -> None:
-        """Run until every handle in ``handles`` has terminated."""
+        """Run until every handle in ``handles`` has terminated.
+
+        The stop check is O(1) per event: a :class:`CompletionCounter`
+        decrements as processes finish, rather than rescanning every
+        handle after every event.
+        """
         targets = list(handles)
-        self.run(stop_when=lambda: all(h.done for h in targets), **kw)
+        counter = CompletionCounter(targets)
+        if counter.remaining:
+            self.run(stop_when=counter.all_done, **kw)
         for h in targets:
             if not h.done:  # queue drained before completion
                 self._check_deadlock()
@@ -262,3 +367,31 @@ class Kernel:
             "processes": len(self.processes),
             "pending_events": len(self.queue),
         }
+
+
+_TERMINAL_STATES = frozenset((ProcessState.DONE, ProcessState.FAILED))
+
+#: Exact-type dispatch for yielded requests.  ``request.__class__`` lookup
+#: replaces the old isinstance chain; subclasses fall back to
+#: :func:`_dispatch_slow`, which walks the MRO once and memoizes.
+_DISPATCH: dict[type, Callable[[Kernel, ProcessHandle, Any], None]] = {
+    Compute: Kernel._do_compute,
+    WaitSignal: Kernel._do_wait_signal,
+    WaitAny: Kernel._do_wait_any,
+    Yield: Kernel._do_yield,
+    Join: Kernel._do_join,
+}
+
+
+def _dispatch_slow(
+    handle: ProcessHandle, request: Any
+) -> Callable[[Kernel, ProcessHandle, Any], None]:
+    """Resolve a handler for a request subclass; memoize into _DISPATCH."""
+    for base in type(request).__mro__[1:]:
+        handler = _DISPATCH.get(base)
+        if handler is not None:
+            _DISPATCH[type(request)] = handler
+            return handler
+    raise TypeError(
+        f"process {handle.name!r} yielded unsupported request {request!r}"
+    )

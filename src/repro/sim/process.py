@@ -22,6 +22,10 @@ exclusively by ``yield``-ing *request* objects:
 Blocking service calls (message receive, ``Global_Read``) are generators
 themselves and are invoked with ``yield from``, so application code reads
 almost like the PVM/DSM programs in the paper.
+
+All request objects and :class:`ProcessHandle` carry ``__slots__``: requests
+are allocated once per yield on the kernel's hottest path, and the slotted
+layout both shrinks them and speeds up the kernel's attribute reads.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ class ProcessState(enum.Enum):
     FAILED = "failed"  # generator raised
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute:
     """Charge ``seconds`` of simulated CPU time to the yielding process."""
 
@@ -53,7 +57,7 @@ class Compute:
             raise ValueError(f"Compute duration must be >= 0, got {self.seconds!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Yield:
     """Resume at the same instant, after already-scheduled events."""
 
@@ -94,14 +98,14 @@ class Signal:
             handle._kernel._wake_from_signal(handle, self)
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitSignal:
     """Park the process until ``signal`` fires (possibly spuriously)."""
 
     signal: Signal
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitAny:
     """Park until any one of ``signals`` fires; resumes with that signal."""
 
@@ -113,14 +117,14 @@ class WaitAny:
             raise ValueError("WaitAny requires at least one signal")
 
 
-@dataclass
+@dataclass(slots=True)
 class Join:
     """Park until ``handle``'s process terminates; resumes with its result."""
 
     handle: "ProcessHandle"
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessHandle:
     """Kernel-side bookkeeping for one simulated process.
 
@@ -139,6 +143,10 @@ class ProcessHandle:
     _parked_on: tuple = ()
     #: processes Join-ing on us
     _joiners: list = field(default_factory=list)
+    #: zero-argument callbacks invoked exactly once when the process
+    #: terminates (DONE or FAILED) — the O(1) completion counters behind
+    #: ``Kernel.run_until_done`` hang off this
+    _watchers: list = field(default_factory=list)
     #: cumulative simulated seconds spent in Compute() — busy-time accounting
     busy_time: float = 0.0
 

@@ -14,6 +14,7 @@ long benchmark run does not accumulate unbounded memory.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any
 
@@ -49,6 +50,23 @@ class Tracer:
 
     def labels(self) -> list[str]:
         return [r.label for r in self.records]
+
+    def digest(self) -> str:
+        """SHA-256 over the full trace, for determinism regression tests.
+
+        Times are hashed via ``repr`` (shortest round-trip form), so the
+        digest is exact — two traces digest equal iff every record matches
+        bit-for-bit.  Dropped-record counts are folded in so a truncated
+        trace cannot collide with its complete prefix.
+        """
+        h = hashlib.sha256()
+        for r in self.records:
+            h.update(repr(r.time).encode())
+            h.update(b"|")
+            h.update(r.label.encode())
+            h.update(b"\n")
+        h.update(f"dropped={self.dropped}".encode())
+        return h.hexdigest()
 
     def __len__(self) -> int:
         return len(self.records)

@@ -285,3 +285,28 @@ class TestEngine:
         findings, errors = lint_paths([str(bad)])
         assert findings == []
         assert len(errors) == 1 and "broken.py" in errors[0]
+
+
+class TestAllowPragma:
+    """`# repro-lint: allow[RPRxxx]` suppresses exactly the named rule."""
+
+    def test_pragma_suppresses_named_rule_on_its_line(self):
+        src = "import time\nt = time.time()  # repro-lint: allow[RPR002]\n"
+        assert lint_source(src) == []
+
+    def test_pragma_does_not_suppress_other_rules(self):
+        src = "import time\nt = time.time()  # repro-lint: allow[RPR001]\n"
+        assert [f.code for f in lint_source(src)] == ["RPR002"]
+
+    def test_pragma_only_covers_its_own_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: allow[RPR002]\n"
+            "b = time.time()\n"
+        )
+        hits = lint_source(src)
+        assert [f.line for f in hits] == [3]
+
+    def test_pragma_accepts_a_code_list(self):
+        src = "import time\nt = time.time()  # repro-lint: allow[RPR001, RPR002]\n"
+        assert lint_source(src) == []

@@ -1,0 +1,31 @@
+"""Golden end-to-end digests: one small GA config, one small Bayes config.
+
+These pin the *application-visible* results of the simulator — any
+kernel "optimisation" that reorders same-instant events, changes RNG
+consumption order, or alters signal wakeup order will shift them.
+"""
+
+from repro.bench.determinism import (
+    GOLDEN,
+    bayes_result_digest,
+    digest_values,
+    ga_result_digest,
+)
+
+
+def test_ga_digest_matches_golden():
+    assert ga_result_digest() == GOLDEN["ga_result"]
+
+
+def test_bayes_digest_matches_golden():
+    assert bayes_result_digest() == GOLDEN["bayes_result"]
+
+
+def test_digest_values_canonicalises_numpy_scalars():
+    import numpy as np
+
+    assert digest_values(1.5, [2.0, 3.0]) == digest_values(
+        np.float64(1.5), np.array([2.0, 3.0])
+    )
+    assert digest_values(7) == digest_values(np.int64(7))
+    assert digest_values(1.5) != digest_values(1.5000001)

@@ -1,0 +1,71 @@
+"""The parallel experiment runner: job parsing, ordering, fallback."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import JOBS_ENV, configured_jobs, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _addmul(a, b, c=1):
+    return (a + b) * c
+
+
+class TestConfiguredJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert configured_jobs() == 1
+
+    def test_empty_string_means_serial(self):
+        assert configured_jobs("") == 1
+        assert configured_jobs("  ") == 1
+
+    def test_explicit_integer(self):
+        assert configured_jobs("4") == 4
+
+    def test_auto_and_zero_use_cpu_count(self):
+        n = os.cpu_count() or 1
+        assert configured_jobs("auto") == n
+        assert configured_jobs("0") == n
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            configured_jobs("many")
+        with pytest.raises(ValueError):
+            configured_jobs("-2")
+
+    def test_reads_process_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert configured_jobs() == 3
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [(i,) for i in range(10)], jobs=1) == [
+            i * i for i in range(10)
+        ]
+
+    def test_parallel_results_ordered_by_submission_not_completion(self):
+        args = [(i,) for i in range(20)]
+        assert parallel_map(_square, args, jobs=2) == [i * i for i in range(20)]
+
+    def test_parallel_matches_serial_exactly(self):
+        args = [(i, 10 - i, 2) for i in range(10)]
+        serial = parallel_map(_addmul, args, jobs=1)
+        parallel = parallel_map(_addmul, args, jobs=2)
+        assert parallel == serial
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_jobs_clamped_to_item_count(self):
+        # jobs=8 with one item must not spin up a pointless pool
+        assert parallel_map(_square, [(3,)], jobs=8) == [9]
+
+    def test_unpicklable_fn_would_fail_loud_in_parallel(self):
+        # lambdas can't cross a process boundary; serial path accepts them
+        assert parallel_map(lambda x: x + 1, [(1,), (2,)], jobs=1) == [2, 3]

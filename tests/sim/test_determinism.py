@@ -1,0 +1,130 @@
+"""Determinism regression suite for the kernel fast path.
+
+The fast lane, type-tag dispatch and no-tracer run loop must be
+*bit-identical* to the straightforward implementation: same-seed runs
+produce the same trace digest, and the digest matches a checked-in
+golden value so silent reorderings can't creep in.
+"""
+
+import pytest
+
+from repro.bench.determinism import GOLDEN, kernel_trace_digest
+from repro.bench.micro import build_kernel_workload
+from repro.sim import (
+    Compute,
+    Kernel,
+    Signal,
+    Tracer,
+    WaitSignal,
+    Yield,
+)
+from repro.sim.events import PRIORITY_LATE
+
+
+def test_same_seed_runs_have_identical_trace_digests():
+    digests = []
+    for _ in range(2):
+        tracer = Tracer()
+        kernel = build_kernel_workload(n_workers=8, n_steps=40, tracer=tracer)
+        kernel.run()
+        digests.append(tracer.digest())
+    assert digests[0] == digests[1]
+
+
+def test_kernel_trace_digest_matches_golden():
+    assert kernel_trace_digest() == GOLDEN["kernel_trace"]
+
+
+def test_traced_and_untraced_runs_agree():
+    """The no-tracer fast loop must execute the same schedule."""
+    tracer = Tracer()
+    traced = build_kernel_workload(n_workers=6, n_steps=24, tracer=tracer)
+    traced.run()
+    untraced = build_kernel_workload(n_workers=6, n_steps=24)
+    untraced.run()
+    assert untraced.now == traced.now
+    assert untraced.events_executed == traced.events_executed
+
+
+def test_fast_lane_preserves_fifo_among_immediates():
+    kernel = Kernel()
+    order = []
+    for i in range(5):
+        kernel.schedule(0.0, order.append, i)
+    kernel.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_fast_lane_respects_priority_against_heap():
+    """A PRIORITY_LATE heap event at t=now runs after same-time immediates."""
+    kernel = Kernel()
+    order = []
+    kernel.queue.push(0.0, order.append, ("late",), priority=PRIORITY_LATE)
+    kernel.schedule(0.0, order.append, "immediate")
+    kernel.run()
+    assert order == ["immediate", "late"]
+
+
+def test_fast_lane_drains_before_clock_advances():
+    kernel = Kernel()
+    order = []
+
+    def at_t1():
+        order.append("t1")
+
+    def immediate_spawner():
+        kernel.schedule(0.0, order.append, "child")
+        order.append("parent")
+
+    kernel.queue.push(1.0, at_t1, ())
+    kernel.schedule(0.0, immediate_spawner)
+    kernel.run()
+    assert order == ["parent", "child", "t1"]
+
+
+def test_same_instant_process_interleaving_is_seeded_only():
+    """Two same-seed GA-ish process soups step identically."""
+
+    def soup(seed: int) -> list[str]:
+        kernel = Kernel(seed=seed)
+        log: list[str] = []
+        sig = Signal("s")
+        jitter = kernel.rng.get("jitter")
+
+        def chatty(name: str):
+            for k in range(6):
+                yield Compute(0.0 if k % 2 else 0.001 * jitter.random())
+                log.append(f"{name}:{k}")
+                if k == 2:
+                    yield Yield()
+
+        def waiter():
+            yield WaitSignal(sig)
+            log.append("woke")
+
+        kernel.spawn(waiter(), name="w")
+        for n in ("a", "b", "c"):
+            kernel.spawn(chatty(n), name=n)
+        kernel.schedule(0.01, sig.fire)
+        kernel.run()
+        return log
+
+    assert soup(3) == soup(3)
+    assert soup(3) != soup(4)  # the jitter actually reaches the schedule
+
+
+def test_time_order_violation_raises_runtime_error():
+    """Satellite: the bare assert became an explicit RuntimeError."""
+    kernel = Kernel()
+    kernel.queue.push(1.0, lambda: None, ())
+    kernel.now = 5.0  # simulate a corrupted clock
+    with pytest.raises(RuntimeError, match="behind the clock"):
+        kernel.run()
+
+
+def test_time_order_violation_raises_in_traced_loop_too():
+    kernel = Kernel(tracer=Tracer())
+    kernel.queue.push(1.0, lambda: None, ())
+    kernel.now = 5.0
+    with pytest.raises(RuntimeError, match="behind the clock"):
+        kernel.run()

@@ -334,3 +334,49 @@ def test_stats_shape():
     k = Kernel()
     s = k.stats()
     assert set(s) == {"now", "events_executed", "processes", "pending_events"}
+
+
+def test_completion_counter_tracks_terminations():
+    from repro.sim import CompletionCounter
+
+    k = Kernel()
+
+    def worker(d):
+        yield Compute(d)
+
+    hs = [k.spawn(worker(float(i + 1))) for i in range(3)]
+    counter = CompletionCounter(hs)
+    assert counter.remaining == 3
+    k.run(stop_when=lambda: counter.remaining == 2)
+    assert counter.remaining == 2
+    k.run()
+    assert counter.all_done()
+
+
+def test_completion_counter_counts_failures_and_skips_done():
+    from repro.sim import CompletionCounter
+
+    k = Kernel()
+
+    def ok():
+        yield Compute(1.0)
+
+    def bad():
+        yield Compute(2.0)
+        raise RuntimeError("boom")
+
+    h_ok = k.spawn(ok())
+    h_bad = k.spawn(bad())
+    k.run(stop_when=lambda: h_ok.done)  # h_ok DONE before the counter attaches
+    counter = CompletionCounter([h_ok, h_bad])
+    assert counter.remaining == 1
+    with pytest.raises(ProcessFailure):
+        k.run()
+    assert counter.all_done()
+
+
+def test_run_until_done_empty_handles_is_noop():
+    k = Kernel()
+    k.schedule(1.0, lambda: None)
+    k.run_until_done([])
+    assert k.now == 0.0  # nothing to wait for: run() is skipped entirely
