@@ -156,6 +156,12 @@ class RaceClassifier(ConsistencyChecker):
         self._writes: dict[str, list[_WriteRecord]] = {}
         self.sends_observed = 0
         self.recvs_observed = 0
+        #: injected-fault counts by kind (drop/duplicate/delay/reorder/…)
+        #: when a repro.faults injector is attached; faults are *context*
+        #: for the verdicts — a drop-induced stale read still classifies
+        #: by its age bound (TOLERATED when the bound held), it is never
+        #: an excuse to report UNBOUNDED
+        self.fault_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Vector-clock plumbing
@@ -181,6 +187,18 @@ class RaceClassifier(ConsistencyChecker):
         if sent is not None:
             vc.join(sent)
         self.recvs_observed += 1
+
+    # -- repro.faults observer hook ------------------------------------
+    def on_fault(self, kind: str, frame, time: float) -> None:
+        """One injected fault (MessageFaultInjector.observer).
+
+        Faults carry no happens-before information — a dropped message
+        simply contributes no send→recv edge, which the clocks already
+        express by its absence — so this only counts them for reporting.
+        """
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        if self.tracer is not None:
+            self.tracer.mark(time, f"fault:{kind}")
 
     # -- Dsm.checker hooks ---------------------------------------------
     def on_write(
@@ -308,6 +326,7 @@ class RaceClassifier(ConsistencyChecker):
             "unbounded_races": self.unbounded_races,
             "max_observed_staleness": self.max_observed_staleness(),
             "consistency_violations": self.total_violations,
+            "faults_injected": dict(sorted(self.fault_counts.items())),
         }
 
     def report(self, max_lines: int = 20) -> str:
@@ -331,9 +350,16 @@ def attach_race_classifier(dsm, tracer=None, max_pairs: int = 10_000) -> RaceCla
 
     The classifier replaces ``dsm.checker`` (it *is* a
     ConsistencyChecker, so all four base invariants keep being checked)
-    and installs itself as the VM's message observer.
+    and installs itself as the VM's message observer.  If the VM's
+    network carries a fault injector (``network.fault_injector``, set by
+    :class:`repro.faults.injectors.MessageFaultInjector`), the classifier
+    also becomes its observer so chaos-run verdicts come annotated with
+    the injected-fault counts.
     """
     classifier = RaceClassifier(max_pairs=max_pairs, tracer=tracer)
     dsm.checker = classifier
     dsm.vm.observer = classifier
+    injector = getattr(dsm.vm.network, "fault_injector", None)
+    if injector is not None:
+        injector.observer = classifier
     return classifier

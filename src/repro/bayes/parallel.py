@@ -205,7 +205,8 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
             )
             dnode = dsm.node(p)
             unpublished: list[int] = []
-            pending_out: list[tuple[int, int, int]] = []
+            pending_out: list[tuple[int, int, int, int]] = []
+            seen_corrections: set[tuple[int, int]] = set()
             next_commit = 1
 
             def on_update(locn: str, age: int, entries) -> float:
@@ -229,9 +230,12 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
             def flush_corrections():
                 while pending_out:
                     outs, pending_out[:] = list(pending_out), []
-                    min_t = min(tt for (_, tt, _) in outs)
+                    min_t = min(tt for (_, tt, _, _) in outs)
                     for r in st.readers:
                         oracle.message_sent(min_t)
+                        # 6 bytes per correction on the wire: node id,
+                        # iteration delta, value, and the (small) version
+                        # counter packed together
                         yield from task.send(
                             r, CORRECTION_TAG, list(outs), 8 + 6 * len(outs)
                         )
@@ -243,12 +247,21 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
                     if msg is None:
                         break
                     cost += task.consume_cost(msg)
+                    # end-to-end dedupe: a duplicated frame can complete
+                    # fragment reassembly twice, re-delivering the same
+                    # message; re-applying it would double-ack the oracle
+                    # and re-trigger settled rollbacks
+                    key = (msg.src, msg.msg_id)
+                    if key in seen_corrections:
+                        st.stats.duplicate_messages += 1
+                        continue
+                    seen_corrections.add(key)
                     st.stats.corrections_received += len(msg.payload)
-                    min_t = min(tt for (_, tt, _) in msg.payload)
-                    for (u, tt, val) in msg.payload:
+                    min_t = min(tt for (_, tt, _, _) in msg.payload)
+                    for (u, tt, val, ver) in msg.payload:
                         if u in st.remote_parents:
                             pending_out.extend(
-                                st.apply_actual(u, tt, int(val), rng, oracle)
+                                st.fold_correction(u, tt, int(val), ver, rng, oracle)
                             )
                     oracle.message_applied(min_t)
                 if cost:

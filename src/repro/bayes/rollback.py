@@ -46,6 +46,12 @@ class RollbackStats:
     nodes_resampled: int = 0
     corrections_sent: int = 0
     corrections_received: int = 0
+    #: corrections skipped because a newer version for the same (node, t)
+    #: was already applied — nonzero only under message reordering
+    stale_corrections: int = 0
+    #: whole correction messages discarded as duplicates (same sender
+    #: message id seen before) — nonzero only under message duplication
+    duplicate_messages: int = 0
 
     @property
     def gamble_hit_rate(self) -> float:
@@ -60,6 +66,8 @@ class RollbackStats:
             nodes_resampled=self.nodes_resampled + other.nodes_resampled,
             corrections_sent=self.corrections_sent + other.corrections_sent,
             corrections_received=self.corrections_received + other.corrections_received,
+            stale_corrections=self.stale_corrections + other.stale_corrections,
+            duplicate_messages=self.duplicate_messages + other.duplicate_messages,
         )
 
 
@@ -74,6 +82,9 @@ class GvtOracle:
         self.pending_gambles: list[dict[int, int]] = [dict() for _ in range(n_procs)]
         #: in-flight message count per lowest-iteration-it-carries
         self.in_flight: dict[int, int] = {}
+        #: acknowledgements for messages already fully accounted — nonzero
+        #: only when fault injection duplicates a message end to end
+        self.duplicate_acks = 0
 
     # -- processor hooks -------------------------------------------------
     def sampled(self, proc: int, t: int) -> None:
@@ -93,9 +104,17 @@ class GvtOracle:
         self.in_flight[min_iter] = self.in_flight.get(min_iter, 0) + 1
 
     def message_applied(self, min_iter: int) -> None:
-        self.in_flight[min_iter] -= 1
-        if self.in_flight[min_iter] == 0:
+        n = self.in_flight.get(min_iter, 0)
+        if n <= 0:
+            # a duplicated delivery acking a message the original already
+            # cleared: ignoring it keeps the floor conservative (never
+            # advanced early) instead of underflowing the count
+            self.duplicate_acks += 1
+            return
+        if n == 1:
             del self.in_flight[min_iter]
+        else:
+            self.in_flight[min_iter] = n - 1
 
     # -- the floor --------------------------------------------------------
     def floor(self) -> int:
@@ -162,6 +181,14 @@ class ProcessorState:
         self.remote_values: dict[tuple[int, int], int] = {}  # (node, t) -> value
         self.gambles: dict[int, dict[int, int]] = {}  # t -> {node: assumed}
         self.published_upto = -1
+        # correction versioning: each correction we emit for (node, t)
+        # carries a per-(node, t) sequence number (the batch publication
+        # is implicitly version 0); receivers apply a correction only if
+        # its version exceeds the last one applied for that (node, t), so
+        # a reordered stale correction can never revert newer state and
+        # correction ping-pong cascades are bounded (DESIGN.md §9)
+        self.sent_versions: dict[tuple[int, int], int] = {}
+        self.applied_versions: dict[tuple[int, int], int] = {}
         self.stats = RollbackStats()
 
     # ------------------------------------------------------------------
@@ -200,11 +227,13 @@ class ProcessorState:
 
     def apply_actual(
         self, u: int, t: int, value: int, rng: np.random.Generator, oracle: GvtOracle
-    ) -> list[tuple[int, int, int]]:
+    ) -> list[tuple[int, int, int, int]]:
         """Fold an actual remote value in; returns corrections to send.
 
-        Corrections are ``(node, t, new_value)`` triples for our own
-        interface nodes whose already-published value for ``t`` changed.
+        Corrections are ``(node, t, new_value, version)`` tuples for our
+        own interface nodes whose already-published value for ``t``
+        changed; ``version`` is the per-(node, t) sequence number readers
+        use to discard stale reordered corrections.
         """
         old = self.remote_values.get((u, t))
         self.remote_values[(u, t)] = value
@@ -222,16 +251,39 @@ class ProcessorState:
             return self._recompute(u, t, rng, oracle)
         return []
 
+    def fold_correction(
+        self,
+        u: int,
+        t: int,
+        value: int,
+        version: int,
+        rng: np.random.Generator,
+        oracle: GvtOracle,
+    ) -> list[tuple[int, int, int, int]]:
+        """Apply one received correction, discarding stale versions.
+
+        Under reordering a version-``k`` correction can arrive after
+        version ``k+1`` for the same ``(u, t)``; applying it would revert
+        state to a superseded value and re-trigger the very cascade the
+        newer correction settled.  The monotone version filter makes the
+        fold idempotent and order-insensitive.
+        """
+        if version <= self.applied_versions.get((u, t), 0):
+            self.stats.stale_corrections += 1
+            return []
+        self.applied_versions[(u, t)] = version
+        return self.apply_actual(u, t, value, rng, oracle)
+
     def _recompute(
         self, u: int, t: int, rng: np.random.Generator, oracle: GvtOracle
-    ) -> list[tuple[int, int, int]]:
+    ) -> list[tuple[int, int, int, int]]:
         """Resample the descendants of ``u`` for run ``t``; diff publications."""
         vals = self.own_values.get(t)
         if vals is None:
             return []  # not sampled yet; the stored actual will be used
         affected = self._affected[u]
         self.stats.nodes_resampled += len(affected)
-        changed: list[tuple[int, int, int]] = []
+        changed: list[tuple[int, int, int, int]] = []
         us = rng.random(len(affected))
         for i, v in enumerate(affected):
             node = self.net.nodes[v]
@@ -243,7 +295,9 @@ class ProcessorState:
             if new != vals[v]:
                 vals[v] = new
                 if v in self.interface_nodes and t <= self.published_upto:
-                    changed.append((v, t, new))
+                    ver = self.sent_versions.get((v, t), 0) + 1
+                    self.sent_versions[(v, t)] = ver
+                    changed.append((v, t, new, ver))
         self.stats.corrections_sent += len(changed)
         return changed
 

@@ -112,10 +112,67 @@ def bench_bayes(network: str = "Hailfinder", repeat: int = 2) -> dict:
     }
 
 
+def _faulted_traffic_kernel(plan, n_nodes: int = 8, n_rounds: int = 250) -> Kernel:
+    """A dense frame mill, optionally under a fault plan."""
+    from repro.faults.injectors import install_faults
+    from repro.network.ethernet import EthernetNetwork
+    from repro.network.frame import Frame
+
+    kernel = Kernel(seed=13)
+    net = EthernetNetwork(kernel)
+    for i in range(n_nodes):
+        net.attach(i, lambda f: None)
+    if plan is not None:
+        install_faults(kernel, net, [], plan)
+
+    def send_round(r: int) -> None:
+        for i in range(n_nodes):
+            net.adapters[i].send(
+                Frame(src=i, dst=(i + 1 + r % (n_nodes - 1)) % n_nodes,
+                      size_bytes=256)
+            )
+        if r + 1 < n_rounds:
+            kernel.schedule(0.3e-3, send_round, r + 1)
+
+    kernel.schedule(0.0, send_round, 0)
+    return kernel
+
+
+def bench_faulted_kernel(repeat: int = 3) -> dict:
+    """Events/sec with the message-fault injector in the delivery path.
+
+    Two runs of the same frame mill: clean (no injector installed) and
+    under a mixed drop/duplicate/delay/reorder plan.  The overhead ratio
+    is the cost of chaos-mode simulation — the injector's dice roll plus
+    the extra events duplicates/delays/reorders schedule.
+    """
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.parse("drop=0.05,dup=0.05,delay=0.05,reorder=0.05,seed=13")
+
+    def one_run(p) -> int:
+        kernel = _faulted_traffic_kernel(p)
+        kernel.run()
+        return kernel.events_executed
+
+    clean_events, clean_s = timed(one_run, None, repeat=repeat)
+    faulted_events, faulted_s = timed(one_run, plan, repeat=repeat)
+    clean_eps = clean_events / clean_s
+    faulted_eps = faulted_events / faulted_s
+    return {
+        "faulted_kernel_events": float(faulted_events),
+        "faulted_kernel_wall_s": faulted_s,
+        "faulted_kernel_events_per_sec": faulted_eps,
+        "clean_kernel_events_per_sec": clean_eps,
+        "fault_overhead_ratio": clean_eps / faulted_eps,
+    }
+
+
 def run_micro(repeat: int = 2) -> dict:
     """The full micro suite as one flat dict (the BENCH ``micro`` block)."""
     out: dict = {}
     out.update(bench_kernel(repeat=repeat))
+    out.update(bench_faulted_kernel(repeat=repeat))
     out.update(bench_ga(repeat=repeat))
     out.update(bench_bayes(repeat=repeat))
     return out

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Generator
 
 from repro.cluster.node import Node, NodeSpec
+from repro.faults.injectors import FaultInjector, install_faults
+from repro.faults.plan import FaultPlan
 from repro.network.ethernet import EthernetConfig, EthernetNetwork
 from repro.network.loader import LoaderConfig, NetworkLoader
 from repro.network.switch import SwitchConfig, SwitchNetwork
@@ -40,6 +42,8 @@ class MachineConfig:
     loader_bps: tuple = ()
     loader_frame_bytes: int = 1024
     measure_warp: bool = False
+    #: optional fault-injection schedule; None = healthy machine
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -95,6 +99,14 @@ class Machine:
         self.warp: WarpMeter | None = None
         if config.measure_warp:
             self.warp = WarpMeter(kinds={"pvm"}).attach(self.network)
+        # Faults install *last* so the message injector wraps the final
+        # network._deliver (warp and observers see post-fault deliveries
+        # only — a dropped frame truly never arrives anywhere).
+        self.faults: FaultInjector | None = None
+        if config.faults is not None and not config.faults.is_noop:
+            self.faults = install_faults(
+                self.kernel, self.network, self.nodes, config.faults
+            )
         self._handles: list[ProcessHandle] = []
 
     # ------------------------------------------------------------------

@@ -49,6 +49,9 @@ class Node:
         self.kernel = kernel
         self.node_id = node_id
         self.spec = spec
+        #: optional repro.faults.NodeFaultModel; maps compute intervals
+        #: through scheduled pause/slowdown/crash windows
+        self.fault_model = None
         self._rng = kernel.rng.get(f"node{node_id}.jitter")
         # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); choose mu so the
         # mean multiplier is exactly 1 and jitter never biases mean cost.
@@ -60,12 +63,14 @@ class Node:
         if baseline_seconds < 0:
             raise ValueError("baseline cost must be >= 0")
         scaled = baseline_seconds / self.spec.speed_factor
-        if self.spec.jitter_sigma == 0.0 or baseline_seconds == 0.0:
-            return scaled
-        mult = float(
-            np.exp(self._mu + self.spec.jitter_sigma * self._rng.standard_normal())
-        )
-        return scaled * mult
+        if self.spec.jitter_sigma != 0.0 and baseline_seconds != 0.0:
+            mult = float(
+                np.exp(self._mu + self.spec.jitter_sigma * self._rng.standard_normal())
+            )
+            scaled *= mult
+        if self.fault_model is not None:
+            scaled = self.fault_model.perturb(self.kernel.now, scaled)
+        return scaled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id}, {self.spec.name}, x{self.spec.speed_factor})"

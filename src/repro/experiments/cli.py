@@ -1,0 +1,69 @@
+"""Shared command-line plumbing for the experiment runners.
+
+Every runner module exposes ``python -m repro.experiments.<name>`` with
+the same three knobs: ``--scale`` (overrides ``REPRO_SCALE``),
+``--jobs`` (worker processes for :func:`repro.experiments.runner.
+parallel_map`) and ``--faults`` (a :meth:`repro.faults.plan.FaultPlan.
+parse` spec turning the run into a chaos experiment — see DESIGN.md §9
+and EXPERIMENTS.md "Chaos experiments").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import Scale, current_scale
+from repro.faults.plan import FaultPlan
+
+_SCALES = {"smoke": Scale.smoke, "default": Scale.default, "full": Scale.full}
+
+
+def experiment_parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="run-size preset (default: the REPRO_SCALE environment variable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the trial fan-out (default: auto)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault-injection spec, e.g. "
+            "'drop=0.02,dup=0.01,reorder=0.05,seed=7,stop=2.0' "
+            "(see repro.faults.plan.FaultPlan.parse)"
+        ),
+    )
+    return parser
+
+
+def parse_experiment_args(
+    parser: argparse.ArgumentParser, argv: list[str] | None = None
+) -> tuple[Scale, int | None, FaultPlan | None]:
+    """Resolve (scale, jobs, fault plan) from parsed arguments."""
+    args = parser.parse_args(argv)
+    scale = _SCALES[args.scale]() if args.scale else current_scale()
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+    if faults is not None and (faults.messages.drop > 0 or any(
+        f.kind == "crash" for f in faults.node_faults
+    )):
+        # the GA migrant exchange has no retransmission layer: a lost
+        # final update legitimately blocks its reader forever, which
+        # surfaces as a DeadlockError (DESIGN.md §9). Warn, don't forbid
+        # — loss plans are fine for drivers without blocking reads.
+        print(
+            "warning: lossy fault plan (drop/crash) — GA-based drivers may "
+            "deadlock on a lost migrant update; prefer dup/delay/reorder or "
+            "pause/slow node faults (see DESIGN.md §9)",
+            file=sys.stderr,
+        )
+    return scale, args.jobs, faults

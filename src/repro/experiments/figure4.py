@@ -21,11 +21,16 @@ from repro.experiments.speedup import (
     run_ga_trial,
     speedups_over_trials,
 )
+from repro.faults.plan import FaultPlan
 
 FIGURE4_PROCS = 4
 
 
-def run_figure4(scale: Scale | None = None, jobs: int | None = None) -> list[dict]:
+def run_figure4(
+    scale: Scale | None = None,
+    jobs: int | None = None,
+    faults: FaultPlan | None = None,
+) -> list[dict]:
     scale = scale or current_scale()
     variants = GaVariant.standard_set(scale.ages)
     labels = [v.label for v in variants]
@@ -39,7 +44,7 @@ def run_figure4(scale: Scale | None = None, jobs: int | None = None) -> list[dic
     trials = parallel_map(
         run_ga_trial,
         [
-            (scale, fid, FIGURE4_PROCS, 1000 * r + fid, variants, load)
+            (scale, fid, FIGURE4_PROCS, 1000 * r + fid, variants, load, faults)
             for (load, fid, r) in keys
         ],
         jobs=jobs,
@@ -93,3 +98,21 @@ def format_figure4(rows: list[dict]) -> str:
             )
         )
     return "\n\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments.cli import experiment_parser, parse_experiment_args
+
+    parser = experiment_parser(
+        "Figure 4 — GA speedups under background network load, optionally "
+        "with seeded fault injection (--faults)."
+    )
+    scale, jobs, faults = parse_experiment_args(parser, argv)
+    if faults is not None:
+        print(f"fault plan: {faults.describe()}")
+    print(format_figure4(run_figure4(scale, jobs=jobs, faults=faults)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.machine import MachineConfig
 from repro.cluster.node import NodeSpec
 from repro.core.coherence import CoherenceMode
+from repro.faults.plan import FaultPlan
 from repro.experiments.config import Scale
 from repro.ga.functions import get_function
 from repro.ga.island import IslandGaConfig, IslandGaResult, run_island_ga
@@ -65,7 +66,13 @@ class GaTrial:
     results: dict[str, IslandGaResult]
 
 
-def machine_for(scale: Scale, P: int, seed: int, load_bps: float = 0.0) -> MachineConfig:
+def machine_for(
+    scale: Scale,
+    P: int,
+    seed: int,
+    load_bps: float = 0.0,
+    faults: FaultPlan | None = None,
+) -> MachineConfig:
     """Machine config with the scale's load-skew model and optional loader."""
     rng = np.random.default_rng(seed)
     speeds = tuple(float(x) for x in rng.normal(1.0, scale.hetero_sigma, P))
@@ -75,6 +82,7 @@ def machine_for(scale: Scale, P: int, seed: int, load_bps: float = 0.0) -> Machi
         node_spec=NodeSpec(jitter_sigma=scale.jitter_sigma),
         speed_factors=speeds,
         measure_warp=True,
+        faults=faults,
     )
     return cfg.with_load(load_bps)
 
@@ -86,6 +94,7 @@ def run_ga_trial(
     seed: int,
     variants: list[GaVariant],
     load_bps: float = 0.0,
+    faults: FaultPlan | None = None,
 ) -> GaTrial:
     """One seed's serial baseline + every variant on P demes."""
     fn = get_function(fid)
@@ -104,7 +113,7 @@ def run_ga_trial(
             n_generations=scale.ga_cap_factor * G,
             seed=seed,
             target=bar,
-            machine=machine_for(scale, P, seed, load_bps),
+            machine=machine_for(scale, P, seed, load_bps, faults),
         )
         r = run_island_ga(cfg)
         times[variant.label] = r.completion_time

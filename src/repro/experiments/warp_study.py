@@ -17,14 +17,21 @@ from repro.experiments.config import Scale, current_scale
 from repro.experiments.reporting import text_table
 from repro.experiments.runner import parallel_map
 from repro.experiments.speedup import machine_for
+from repro.faults.plan import FaultPlan
 from repro.ga.functions import get_function
 from repro.ga.island import IslandGaConfig, run_island_ga
 from repro.network.frame import Frame
 from repro.network.warp import WarpMeter
 
 
-def probe_warp(load_bps: float, seed: int = 0, n_probes: int = 200) -> dict:
+def probe_warp(
+    load_bps: float,
+    seed: int = 0,
+    n_probes: int = 200,
+    faults: FaultPlan | None = None,
+) -> dict:
     """Mean/max warp of a paced 2-node probe stream under ``load_bps``."""
+    from repro.faults.injectors import install_faults
     from repro.network.ethernet import EthernetNetwork
     from repro.network.loader import LoaderConfig, NetworkLoader
     from repro.sim import Kernel
@@ -53,6 +60,8 @@ def probe_warp(load_bps: float, seed: int = 0, n_probes: int = 200) -> dict:
                 name=f"loader{k}",
             ).start(delay=ramp_at)
     meter = WarpMeter(kinds={"probe"}).attach(net)
+    if faults is not None and not faults.is_noop:
+        install_faults(kernel, net, [], faults)
 
     def inject(i: int) -> None:
         net.adapters[0].send(Frame(src=0, dst=1, size_bytes=512, kind="probe"))
@@ -60,7 +69,13 @@ def probe_warp(load_bps: float, seed: int = 0, n_probes: int = 200) -> dict:
             kernel.schedule(gap, inject, i + 1)
 
     kernel.schedule(0.0, inject, 0)
-    kernel.run(stop_when=lambda: meter.overall.count >= n_probes - 1)
+    # the time cap only matters under faults: dropped probes mean the
+    # sample target can become unreachable, and the loaders never stop
+    deadline = n_probes * gap + 0.5
+    kernel.run(
+        stop_when=lambda: meter.overall.count >= n_probes - 1
+        or kernel.now >= deadline,
+    )
     return {
         "load_mbps": load_bps / 1e6,
         "mean_warp": meter.mean_warp,
@@ -69,7 +84,13 @@ def probe_warp(load_bps: float, seed: int = 0, n_probes: int = 200) -> dict:
     }
 
 
-def ga_warp(scale: Scale, mode: CoherenceMode, age: int, load_bps: float) -> float:
+def ga_warp(
+    scale: Scale,
+    mode: CoherenceMode,
+    age: int,
+    load_bps: float,
+    faults: FaultPlan | None = None,
+) -> float:
     """Mean warp observed by an island GA run under background load."""
     fn = get_function(scale.ga_functions[0])
     r = run_island_ga(
@@ -80,16 +101,22 @@ def ga_warp(scale: Scale, mode: CoherenceMode, age: int, load_bps: float) -> flo
             age=age,
             n_generations=scale.ga_generations,
             seed=3,
-            machine=machine_for(scale, 4, 3, load_bps),
+            machine=machine_for(scale, 4, 3, load_bps, faults),
         )
     )
     return r.mean_warp
 
 
-def run_warp_study(scale: Scale | None = None, jobs: int | None = None) -> dict:
+def run_warp_study(
+    scale: Scale | None = None,
+    jobs: int | None = None,
+    faults: FaultPlan | None = None,
+) -> dict:
     scale = scale or current_scale()
     probe_rows = parallel_map(
-        probe_warp, [(load,) for load in (0.0, *scale.loads_bps, 6e6)], jobs=jobs
+        probe_warp,
+        [(load, 0, 200, faults) for load in (0.0, *scale.loads_bps, 6e6)],
+        jobs=jobs,
     )
     app_cells = [
         ("async", CoherenceMode.ASYNCHRONOUS, 0),
@@ -97,7 +124,10 @@ def run_warp_study(scale: Scale | None = None, jobs: int | None = None) -> dict:
     ]
     warps = parallel_map(
         ga_warp,
-        [(scale, mode, age, scale.loads_bps[-1]) for (_, mode, age) in app_cells],
+        [
+            (scale, mode, age, scale.loads_bps[-1], faults)
+            for (_, mode, age) in app_cells
+        ],
         jobs=jobs,
     )
     app_rows = [
@@ -122,3 +152,21 @@ def format_warp_study(result: dict) -> str:
         title="W1 — warp observed by island-GA traffic (loaded network)",
     )
     return probe + "\n\n" + ga
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments.cli import experiment_parser, parse_experiment_args
+
+    parser = experiment_parser(
+        "W1 — warp vs offered load, optionally with seeded fault "
+        "injection (--faults)."
+    )
+    scale, jobs, faults = parse_experiment_args(parser, argv)
+    if faults is not None:
+        print(f"fault plan: {faults.describe()}")
+    print(format_warp_study(run_warp_study(scale, jobs=jobs, faults=faults)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""``python -m repro.faults`` — run the chaos matrix.
+
+The CI ``chaos-smoke`` job runs ``python -m repro.faults --check --out
+chaos_ci.json --trace-dir chaos_traces``: every digest must match
+:data:`repro.faults.chaos.CHAOS_GOLDEN`; on mismatch the per-case fault
+trace is written under ``--trace-dir`` and uploaded as the failure
+artifact.  After an intentional behaviour change, regenerate with
+``--print-digests`` and paste the new values into ``CHAOS_GOLDEN``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.faults.chaos import MATRIX, run_matrix
+
+
+def _write_traces(results: dict[str, dict], trace_dir: str) -> list[str]:
+    """Re-run mismatching cases and persist their fault logs; returns paths."""
+    from repro.faults import chaos
+
+    written = []
+    out_dir = Path(trace_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, r in results.items():
+        if r["ok"]:
+            continue
+        # traffic/ga producers don't expose the log post-hoc, so rebuild
+        # the case once more purely for its trace — determinism makes
+        # this the same run
+        digest, summary = chaos.MATRIX[name]()
+        path = out_dir / f"{name}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "case": name,
+                    "digest": digest,
+                    "golden": r["golden"],
+                    "summary": summary,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        written.append(str(path))
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Run the fixed-seed chaos matrix and report digests.",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every digest matches CHAOS_GOLDEN",
+    )
+    parser.add_argument(
+        "--print-digests", action="store_true",
+        help="print a CHAOS_GOLDEN block with the computed digests and exit",
+    )
+    parser.add_argument(
+        "--case", action="append", default=None, metavar="NAME",
+        help=f"run only these cases (repeatable); known: {', '.join(MATRIX)}",
+    )
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="on --check failure, write per-case fault traces here",
+    )
+    args = parser.parse_args(argv)
+    if args.case:
+        unknown = set(args.case) - set(MATRIX)
+        if unknown:
+            parser.error(f"unknown case(s): {', '.join(sorted(unknown))}")
+
+    results = run_matrix(args.case)
+
+    if args.print_digests:
+        print("CHAOS_GOLDEN = {")
+        for name, r in results.items():
+            print(f'    "{name}": "{r["digest"]}",')
+        print("}")
+        return 0
+
+    width = max(len(n) for n in results)
+    for name, r in results.items():
+        status = "ok" if r["ok"] else ("MISMATCH" if r["golden"] else "no-golden")
+        print(f"{name:<{width}}  {r['digest'][:16]}…  {status}")
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+
+    if args.check:
+        bad = [n for n, r in results.items() if not r["ok"]]
+        if bad:
+            print(f"chaos digest mismatch: {', '.join(bad)}", file=sys.stderr)
+            if args.trace_dir:
+                for p in _write_traces(results, args.trace_dir):
+                    print(f"trace written: {p}", file=sys.stderr)
+            return 1
+        missing = set(MATRIX) - set(results)
+        if not args.case and missing:  # pragma: no cover - defensive
+            print(f"cases not run: {missing}", file=sys.stderr)
+            return 1
+        print(f"chaos matrix ok ({len(results)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Chaos matrix determinism: same plan seed => identical trace digest.
+
+These are the property (a) tests of the chaos suite: a fault-injected
+run is a pure function of ``(workload, FaultPlan)``.  Two back-to-back
+runs of any matrix case must produce bit-identical SHA-256 digests, and
+every case must match its checked-in golden in ``CHAOS_GOLDEN``.
+"""
+
+import pytest
+
+from repro.faults.chaos import CHAOS_GOLDEN, MATRIX, run_matrix, traffic_case
+from repro.faults.plan import FaultPlan, MessageFaults
+
+# the full matrix takes ~1.5 s; run the cheap traffic family twice for
+# the rerun property and the whole matrix once against the goldens
+_TRAFFIC_CASES = [n for n in MATRIX if n.startswith("traffic-")]
+
+
+@pytest.mark.parametrize("name", _TRAFFIC_CASES)
+def test_same_seed_two_runs_identical_digest(name):
+    d1, s1 = MATRIX[name]()
+    d2, s2 = MATRIX[name]()
+    assert d1 == d2
+    assert s1 == s2
+
+
+def test_matrix_matches_goldens():
+    results = run_matrix()
+    assert set(results) == set(CHAOS_GOLDEN)
+    mismatched = {
+        n: (r["digest"], r["golden"]) for n, r in results.items() if not r["ok"]
+    }
+    assert mismatched == {}
+
+
+def test_different_seed_changes_digest():
+    plan = FaultPlan(seed=1, messages=MessageFaults(drop=0.15, stop=0.015))
+    d1, _ = traffic_case(plan)
+    d2, _ = traffic_case(plan.with_seed(12345))
+    assert d1 != d2
+
+
+def test_every_case_actually_injects():
+    # a chaos case that injects nothing is testing nothing
+    from repro.faults.chaos import ga_case
+
+    healthy_ga_digest, _ = ga_case(FaultPlan.none())
+    for name, producer in MATRIX.items():
+        digest, summary = producer()
+        if name == "traffic-crash":
+            assert summary["crash_frames_lost"] > 0, name
+        elif name == "ga-node-faults":
+            # node faults leave message counters at zero; the evidence of
+            # injection is that the GA's observable result moved
+            assert digest != healthy_ga_digest, name
+        elif name == "bayes-duplicate":
+            assert summary["duplicate_messages"] > 0, name
+            assert summary["converged"], name
+        else:
+            injected = (
+                summary["dropped"]
+                + summary["duplicated"]
+                + summary["delayed"]
+                + summary["reordered"]
+            )
+            assert injected > 0, name
