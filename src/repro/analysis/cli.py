@@ -187,6 +187,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis`` entry point; the exit status is the finding
+    count."""
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)

@@ -30,6 +30,7 @@ SANITIZE_ENV_VAR = "REPRO_SANITIZE"
 
 
 def sanitizer_enabled() -> bool:
+    """Whether the race-fixture sanitizer hook is active for this run."""
     return os.environ.get(SANITIZE_ENV_VAR) == "1"
 
 

@@ -62,12 +62,14 @@ class Finding:
     col: int
 
     def format(self) -> str:
+        """Render the finding as a one-line ``path:line: [RULE] message`` string."""
         return (
             f"{self.path}:{self.line}:{self.col}: {self.code} "
             f"{self.message} (fix: {self.fixit})"
         )
 
     def to_dict(self) -> dict:
+        """JSON-friendly dict form of the finding."""
         return asdict(self)
 
 

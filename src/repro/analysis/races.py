@@ -61,6 +61,7 @@ class VectorClock:
                 self._c[tid] = n
 
     def copy(self) -> "VectorClock":
+        """An independent copy (component-wise snapshot) of this clock."""
         return VectorClock(self._c)
 
     def leq(self, other: "VectorClock") -> bool:
@@ -68,9 +69,11 @@ class VectorClock:
         return all(n <= other._c.get(tid, 0) for tid, n in self._c.items())
 
     def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock happens-before the other."""
         return not self.leq(other) and not other.leq(self)
 
     def get(self, tid: int) -> int:
+        """This clock's component for ``tid`` (0 when never ticked)."""
         return self._c.get(tid, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -104,6 +107,7 @@ class RacePair:
     time: float
 
     def describe(self) -> str:
+        """Human-readable one-line description of the racing access pair."""
         bound = "no bound" if self.age_bound is None else f"age<={self.age_bound}"
         return (
             f"[{self.classification.value}] {self.locn}: writer {self.writer} "
@@ -175,12 +179,16 @@ class RaceClassifier(ConsistencyChecker):
 
     # -- VirtualMachine.observer hooks ---------------------------------
     def on_send(self, src: int, dst: int, tag: int, msg_id: int, time: float) -> None:
+        """Record a message send: tick the sender's clock and stash it for the
+        receiver."""
         vc = self._clock(src)
         vc.tick(src)
         self._msg_clocks[(src, msg_id)] = vc.copy()
         self.sends_observed += 1
 
     def on_recv(self, tid: int, msg, time: float) -> None:
+        """Record a message receive: join the sender's stashed clock into the
+        receiver's."""
         vc = self._clock(tid)
         vc.tick(tid)
         sent = self._msg_clocks.pop((msg.src, msg.msg_id), None)
@@ -204,6 +212,7 @@ class RaceClassifier(ConsistencyChecker):
     def on_write(
         self, locn: str, age: int, time: float, writer: int | None = None
     ) -> None:
+        """Record a DSM write access for later happens-before classification."""
         super().on_write(locn, age, time, writer=writer)
         if writer is None:
             return  # cannot build edges without the writing task's id
@@ -222,6 +231,7 @@ class RaceClassifier(ConsistencyChecker):
         curr_iter: int | None = None,
         age_bound: int | None = None,
     ) -> None:
+        """Record a Global_Read access and classify it against prior writes."""
         super().on_read(
             reader, locn, returned_age, time,
             curr_iter=curr_iter, age_bound=age_bound,
@@ -284,20 +294,24 @@ class RaceClassifier(ConsistencyChecker):
     # Summaries
     # ------------------------------------------------------------------
     def count(self, cls: RaceClass) -> int:
+        """Number of classified access pairs in class ``cls``."""
         return sum(
             n for (_, _, _, c), n in self.pair_counts.items() if c is cls
         )
 
     @property
     def synchronized_pairs(self) -> int:
+        """Pairs ordered by happens-before (no race)."""
         return self.count(RaceClass.SYNCHRONIZED)
 
     @property
     def tolerated_races(self) -> int:
+        """Concurrent pairs whose staleness stayed within the declared age bound."""
         return self.count(RaceClass.TOLERATED)
 
     @property
     def unbounded_races(self) -> int:
+        """Concurrent pairs with no (or an exceeded) staleness bound — true races."""
         return self.count(RaceClass.UNBOUNDED)
 
     @property
@@ -315,6 +329,7 @@ class RaceClassifier(ConsistencyChecker):
         return max(racy, default=0)
 
     def summary(self) -> dict:
+        """Per-class counts plus the worst observed staleness, as a dict."""
         return {
             "reads_checked": self.reads_checked,
             "writes_checked": self.writes_checked,
@@ -330,6 +345,7 @@ class RaceClassifier(ConsistencyChecker):
         }
 
     def report(self, max_lines: int = 20) -> str:
+        """Multi-line text report: summary line plus up to ``max_lines`` worst pairs."""
         base = super().report(max_lines)
         lines = [base, "race classification:"]
         for label, n in (

@@ -37,11 +37,13 @@ class ClassifiedRun:
 
     @property
     def mode_label(self) -> str:
+        """Short label for the run's coherence mode (e.g. ``gr10``)."""
         if self.mode is CoherenceMode.NON_STRICT:
             return f"Global_Read(age={self.age})"
         return self.mode.value
 
     def to_dict(self) -> dict:
+        """JSON-friendly dict form of the classified run."""
         return {
             "mode": self.mode.value,
             "age": self.age,

@@ -108,6 +108,7 @@ class Rule(ast.NodeVisitor):
 
     # -- import tracking (shared by all rules) --------------------------
     def visit_Import(self, node: ast.Import) -> None:
+        """Track plain ``import`` statements for module-alias resolution."""
         for alias in node.names:
             self._module_aliases[alias.asname or alias.name.split(".")[0]] = (
                 alias.name if alias.asname else alias.name.split(".")[0]
@@ -115,6 +116,7 @@ class Rule(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Track ``from ... import`` statements for name-origin resolution."""
         if node.module and node.level == 0:
             for alias in node.names:
                 self._from_imports[alias.asname or alias.name] = (
@@ -135,6 +137,7 @@ class Rule(ast.NodeVisitor):
         return f"{head}.{rest}" if rest else head
 
     def flag(self, node: ast.AST, message: str, fixit: str | None = None) -> None:
+        """Record a finding at ``node``'s location."""
         self.findings.append(
             Finding(
                 code=self.code,
@@ -167,6 +170,7 @@ class UnseededRandomness(Rule):
     )
 
     def visit_Call(self, node: ast.Call) -> None:
+        """Flag ``random.*`` / ``np.random.*`` calls that bypass the seeded registry."""
         path = self.resolve(node.func)
         if path is not None:
             if path.startswith("random."):
@@ -196,6 +200,7 @@ class WallClock(Rule):
     )
 
     def visit_Call(self, node: ast.Call) -> None:
+        """Flag wall-clock reads (``time.time`` et al.) inside simulation code."""
         path = self.resolve(node.func)
         if path in WALL_CLOCK:
             self.flag(node, f"wall-clock read {path}()")
@@ -224,14 +229,17 @@ class IterationOrderHazard(Rule):
                 self.flag(iter_node, f"iteration over {fname}(...)")
 
     def visit_For(self, node: ast.For) -> None:
+        """Flag iteration over unordered sets/dicts of non-deterministic origin."""
         self._check_iter(node.iter)
         self.generic_visit(node)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        """Async variant of :meth:`visit_For`."""
         self._check_iter(node.iter)
         self.generic_visit(node)
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
+        """Flag unordered iteration inside comprehensions."""
         self._check_iter(node.iter)
         self.generic_visit(node)
 
@@ -290,10 +298,12 @@ class IllegalSyscallYield(Rule):
                 )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Scan a function body for yields of non-simulation syscall objects."""
         self._check_function(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async variant of :meth:`visit_FunctionDef`."""
         self._check_function(node)
         self.generic_visit(node)
 
@@ -320,6 +330,7 @@ class DsmBypassMutation(Rule):
         self._class_stack: list[str] = []
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Track class context so DSM-field writes can be attributed."""
         self._class_stack.append(node.name)
         self.generic_visit(node)
         self._class_stack.pop()
@@ -328,6 +339,7 @@ class DsmBypassMutation(Rule):
         return any(c in DSM_IMPLEMENTATION_CLASSES for c in self._class_stack)
 
     def visit_Call(self, node: ast.Call) -> None:
+        """Flag direct mutation calls on DSM-managed containers."""
         if not self._inside_dsm_impl() and isinstance(node.func, ast.Attribute):
             if node.func.attr == "update":
                 receiver = node.func.value
@@ -351,12 +363,14 @@ class DsmBypassMutation(Rule):
                 )
 
     def visit_Assign(self, node: ast.Assign) -> None:
+        """Flag assignments that rebind DSM-managed locations outside ``dsm.write``."""
         if not self._inside_dsm_impl():
             for target in node.targets:
                 self._check_store_target(target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Flag augmented assignments on DSM-managed locations."""
         if not self._inside_dsm_impl():
             self._check_store_target(node.target)
         self.generic_visit(node)
@@ -388,6 +402,8 @@ class NegativeGlobalReadAge(Rule):
         return False
 
     def visit_Call(self, node: ast.Call) -> None:
+        """Flag ``global_read`` calls with a negative (or
+        non-literal-suspicious) age."""
         if terminal_name(node.func) == "global_read":
             age_arg: ast.expr | None = None
             if len(node.args) >= 3:

@@ -44,11 +44,13 @@ class PosteriorEstimator:
         self.n += 1
 
     def add_batch(self, values: np.ndarray) -> None:
+        """Fold a batch of accepted sample values into the running posterior."""
         self.counts += np.bincount(values, minlength=self.n_values)
         self.n += len(values)
 
     @property
     def posterior(self) -> np.ndarray:
+        """Current normalized posterior estimate over the query's values."""
         if self.n == 0:
             raise ValueError("no committed samples yet")
         return self.counts / self.n

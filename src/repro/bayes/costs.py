@@ -37,4 +37,6 @@ class LsCostModel:
         return self.sample_per_node * n_nodes
 
     def rollback_cost(self, n_resampled: int) -> float:
+        """Simulated-seconds cost of re-sampling ``n_resampled`` nodes after a
+        rollback."""
         return self.resample_per_node * n_resampled

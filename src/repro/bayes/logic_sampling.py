@@ -36,6 +36,7 @@ class SerialLsResult:
 
     @property
     def acceptance_rate(self) -> float:
+        """Fraction of generated runs whose evidence matched (accepted runs / total)."""
         return self.n_accepted / self.n_runs if self.n_runs else 0.0
 
 

@@ -96,21 +96,26 @@ class BayesianNetwork:
     # -- structure (Table 2's rows) --------------------------------------
     @property
     def n_nodes(self) -> int:
+        """Number of nodes in the network."""
         return len(self.nodes)
 
     @property
     def n_edges(self) -> int:
+        """Number of directed edges in the network."""
         return self._dag.number_of_edges()
 
     @property
     def edges_per_node(self) -> float:
+        """Mean out-degree — Table 2's ``edges/node`` column."""
         return self.n_edges / self.n_nodes
 
     @property
     def max_values_per_node(self) -> int:
+        """Largest node cardinality — Table 2's ``values/node`` column."""
         return max(n.n_values for n in self.nodes.values())
 
     def children(self, name: int) -> list[int]:
+        """The node ids with an incoming edge from ``name``."""
         return sorted(self._dag.successors(name))
 
     def dag(self) -> nx.DiGraph:

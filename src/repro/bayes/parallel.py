@@ -50,6 +50,7 @@ from repro.core.coherence import CoherenceMode
 from repro.core.dsm import Dsm
 from repro.core.global_read import GlobalReadStats
 from repro.core.location import SharedLocationSpec
+from repro.obs.metrics import machine_metrics
 from repro.sim import CompletionCounter
 from repro.partition.metrics import edge_cut as _edge_cut
 from repro.partition.multilevel import best_of
@@ -105,6 +106,8 @@ class ParallelLsResult:
     gr_stats: GlobalReadStats
     messages_sent: int
     mean_warp: float = 0.0
+    #: repro.obs metrics snapshot (plain dict, see repro.obs.metrics)
+    metrics: dict = field(default_factory=dict)
 
 
 class _BnRecorder:
@@ -128,8 +131,17 @@ def _stage_of(net: BayesianNetwork, owner: dict[int, int]) -> dict[int, int]:
     return stage
 
 
-def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
-    """Execute one parallel logic-sampling run on a fresh machine."""
+def run_parallel_logic_sampling(
+    cfg: ParallelLsConfig, instrument=None
+) -> ParallelLsResult:
+    """Execute one parallel logic-sampling run on a fresh machine.
+
+    ``instrument``, if given, is called with the freshly built
+    :class:`~repro.core.dsm.Dsm` before any process is spawned —
+    mirroring :func:`repro.ga.island.run_island_ga`, so the race
+    classifier and the trace extractor in :mod:`repro.obs.integration`
+    attach the same way to both applications.
+    """
     net = cfg.net
     mcfg = cfg.machine or MachineConfig(
         n_nodes=cfg.n_procs, seed=cfg.seed, measure_warp=True
@@ -138,6 +150,8 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
         raise ValueError("machine node count must equal n_procs")
     machine = Machine(mcfg)
     dsm = Dsm(machine.vm)
+    if instrument is not None:
+        instrument(dsm)
 
     if cfg.n_procs == 1:
         owner = {v: 0 for v in net.nodes}
@@ -146,6 +160,9 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
     cut = _edge_cut(net.skeleton(), owner)
     defaults = net.default_values(seed=cfg.seed)
     states = [ProcessorState(net, owner, p, defaults) for p in range(cfg.n_procs)]
+    if machine.kernel.obs is not None:
+        for st in states:
+            st.obs = machine.kernel.obs
     oracle = GvtOracle(cfg.n_procs)
     recorder = _BnRecorder()
     stage = _stage_of(net, owner)
@@ -346,6 +363,11 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
                         est.add(st.own_values[next_commit][cfg.query])
                         next_commit += 1
                         added += 1
+                    if st.obs is not None and added:
+                        st.obs.emit("gvt.advance", node=p, floor=floor)
+                        st.obs.emit(
+                            "bn.commit", node=p, runs=added, total=est.n
+                        )
                     if added:
                         yield Compute(
                             node.cost(
@@ -387,4 +409,5 @@ def run_parallel_logic_sampling(cfg: ParallelLsConfig) -> ParallelLsResult:
         gr_stats=dsm.merged_gr_stats(),
         messages_sent=machine.vm.total_messages(),
         mean_warp=machine.warp.mean_warp if machine.warp else 0.0,
+        metrics=machine_metrics(machine, dsm=dsm, rollback=rb),
     )

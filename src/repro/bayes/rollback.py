@@ -29,7 +29,7 @@ This module holds the two pieces of bookkeeping:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -52,13 +52,26 @@ class RollbackStats:
     #: whole correction messages discarded as duplicates (same sender
     #: message id seen before) — nonzero only under message duplication
     duplicate_messages: int = 0
+    #: cascade-depth distribution: recompute-set size -> rollback count
+    #: (the Lubachevsky/Weiss "does optimism pay" quantity; reported by
+    #: the repro.obs metrics snapshot as the rb.depth histogram)
+    depth_histogram: dict = field(default_factory=dict)
 
     @property
     def gamble_hit_rate(self) -> float:
+        """Fraction of resolved gambles that matched the actual value."""
         resolved = self.gamble_hits + self.rollbacks
         return self.gamble_hits / resolved if resolved else 1.0
 
+    def record_rollback_depth(self, depth: int) -> None:
+        """Count one rollback whose recompute set had ``depth`` nodes."""
+        self.depth_histogram[depth] = self.depth_histogram.get(depth, 0) + 1
+
     def merge(self, other: "RollbackStats") -> "RollbackStats":
+        """Aggregate counters across processors (for result envelopes)."""
+        merged_depths = dict(self.depth_histogram)
+        for k, v in other.depth_histogram.items():
+            merged_depths[k] = merged_depths.get(k, 0) + v
         return RollbackStats(
             gambles=self.gambles + other.gambles,
             gamble_hits=self.gamble_hits + other.gamble_hits,
@@ -68,6 +81,7 @@ class RollbackStats:
             corrections_received=self.corrections_received + other.corrections_received,
             stale_corrections=self.stale_corrections + other.stale_corrections,
             duplicate_messages=self.duplicate_messages + other.duplicate_messages,
+            depth_histogram=merged_depths,
         )
 
 
@@ -88,22 +102,27 @@ class GvtOracle:
 
     # -- processor hooks -------------------------------------------------
     def sampled(self, proc: int, t: int) -> None:
+        """Record that ``proc`` committed a sample for iteration ``t``."""
         self.progress[proc] = max(self.progress[proc], t)
 
     def gamble_opened(self, proc: int, t: int) -> None:
+        """Record that ``proc`` started a gambled (optimistic) iteration ``t``."""
         d = self.pending_gambles[proc]
         d[t] = d.get(t, 0) + 1
 
     def gamble_resolved(self, proc: int, t: int) -> None:
+        """Record that ``proc`` resolved its gamble on iteration ``t``."""
         d = self.pending_gambles[proc]
         d[t] -= 1
         if d[t] == 0:
             del d[t]
 
     def message_sent(self, min_iter: int) -> None:
+        """Account an in-flight message carrying iterations >= ``min_iter``."""
         self.in_flight[min_iter] = self.in_flight.get(min_iter, 0) + 1
 
     def message_applied(self, min_iter: int) -> None:
+        """Retire the in-flight message accounted by :meth:`message_sent`."""
         n = self.in_flight.get(min_iter, 0)
         if n <= 0:
             # a duplicated delivery acking a message the original already
@@ -190,6 +209,9 @@ class ProcessorState:
         self.sent_versions: dict[tuple[int, int], int] = {}
         self.applied_versions: dict[tuple[int, int], int] = {}
         self.stats = RollbackStats()
+        #: the machine's repro.obs trace bus, wired in by the parallel
+        #: sampler after machine construction (None = tracing off)
+        self.obs = None
 
     # ------------------------------------------------------------------
     def input_value(self, u: int, t: int, oracle: GvtOracle) -> int:
@@ -283,6 +305,11 @@ class ProcessorState:
             return []  # not sampled yet; the stored actual will be used
         affected = self._affected[u]
         self.stats.nodes_resampled += len(affected)
+        self.stats.record_rollback_depth(len(affected))
+        if self.obs is not None:
+            self.obs.emit(
+                "rb.begin", node=self.proc, input=u, iter=t, depth=len(affected)
+            )
         changed: list[tuple[int, int, int, int]] = []
         us = rng.random(len(affected))
         for i, v in enumerate(affected):
@@ -299,6 +326,11 @@ class ProcessorState:
                     self.sent_versions[(v, t)] = ver
                     changed.append((v, t, new, ver))
         self.stats.corrections_sent += len(changed)
+        if self.obs is not None:
+            self.obs.emit(
+                "rb.end", node=self.proc, input=u, iter=t,
+                depth=len(affected), corrections=len(changed),
+            )
         return changed
 
     def iface_snapshot(self, t: int) -> list[int]:

@@ -22,6 +22,8 @@ _SCALES = {"smoke": Scale.smoke, "default": Scale.default, "full": Scale.full}
 
 
 def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench`` entry point; the exit status is 1 on digest
+    mismatch."""
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     parser.add_argument("--out", default=None, help="output path (default: next BENCH_<n>.json)")

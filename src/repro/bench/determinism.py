@@ -59,6 +59,7 @@ def _fold(h: "hashlib._Hash", value: Any) -> None:
 
 
 def digest_values(*values: Any) -> str:
+    """SHA-256 digest of ``values`` rendered to canonical JSON."""
     h = hashlib.sha256()
     for v in values:
         _fold(h, v)

@@ -91,6 +91,7 @@ def make_payload(
     experiments: dict | None = None,
     determinism: dict | None = None,
 ) -> dict:
+    """Assemble the bench-result JSON payload (schema ``repro-bench/1``)."""
     return {
         "schema": SCHEMA_VERSION,
         "scale": scale,

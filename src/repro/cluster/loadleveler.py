@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 
 class JobState(enum.Enum):
+    """Lifecycle of a batch job: queued, running, or done."""
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
@@ -81,9 +82,11 @@ class LoadLeveler:
         self._schedule()
 
     def running(self) -> list[Job]:
+        """Jobs currently holding nodes."""
         return [j for j in self.queue if j.state is JobState.RUNNING]
 
     def queued(self) -> list[Job]:
+        """Jobs waiting for nodes, in submission order."""
         return [j for j in self.queue if j.state is JobState.QUEUED]
 
     def _schedule(self) -> None:

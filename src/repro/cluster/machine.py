@@ -19,6 +19,7 @@ from repro.network.ethernet import EthernetConfig, EthernetNetwork
 from repro.network.loader import LoaderConfig, NetworkLoader
 from repro.network.switch import SwitchConfig, SwitchNetwork
 from repro.network.warp import WarpMeter
+from repro.obs.bus import TraceBus
 from repro.pvm.vm import PvmOverheads, Task, VirtualMachine
 from repro.sim.kernel import CompletionCounter, Kernel
 from repro.sim.process import ProcessHandle
@@ -44,6 +45,13 @@ class MachineConfig:
     measure_warp: bool = False
     #: optional fault-injection schedule; None = healthy machine
     faults: FaultPlan | None = None
+    #: attach a repro.obs trace bus to the kernel (determinism-neutral:
+    #: the run is bit-identical with tracing on or off — pinned by
+    #: tests/obs); also makes the warp meter keep raw samples so the
+    #: metrics snapshot can report per-stream percentiles
+    trace: bool = False
+    #: trace-bus capacity; overflow increments TraceBus.dropped
+    trace_max_events: int = 500_000
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -64,6 +72,16 @@ class Machine:
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
         self.kernel = Kernel(seed=config.seed)
+        self.obs: TraceBus | None = None
+        if config.trace:
+            # installed before any other component so every subsystem's
+            # `kernel.obs` lookup (dynamic or cached at construction)
+            # sees the bus
+            self.obs = TraceBus(
+                clock=lambda: self.kernel.now,
+                max_events=config.trace_max_events,
+            )
+            self.kernel.obs = self.obs
         if config.interconnect == "ethernet":
             self.network = EthernetNetwork(self.kernel, config.ethernet)
         else:
@@ -98,7 +116,9 @@ class Machine:
             self.loaders.append(loader)
         self.warp: WarpMeter | None = None
         if config.measure_warp:
-            self.warp = WarpMeter(kinds={"pvm"}).attach(self.network)
+            self.warp = WarpMeter(
+                kinds={"pvm"}, keep_samples=config.trace
+            ).attach(self.network)
         # Faults install *last* so the message injector wraps the final
         # network._deliver (warp and observers see post-fault deliveries
         # only — a dropped frame truly never arrives anywhere).
@@ -112,6 +132,7 @@ class Machine:
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
+        """Number of compute nodes in this machine."""
         return self.config.n_nodes
 
     def spawn_on(
@@ -156,4 +177,5 @@ class Machine:
         return self.kernel.now
 
     def results(self) -> list:
+        """Per-node results collected by :meth:`run_program`, in node order."""
         return [h.result for h in self._handles]

@@ -70,6 +70,12 @@ class Node:
             scaled *= mult
         if self.fault_model is not None:
             scaled = self.fault_model.perturb(self.kernel.now, scaled)
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.emit(
+                "node.compute", node=self.node_id,
+                baseline=baseline_seconds, cost=scaled,
+            )
         return scaled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

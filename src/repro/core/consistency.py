@@ -77,6 +77,7 @@ class ConsistencyChecker:
     def on_write(
         self, locn: str, age: int, time: float, writer: int | None = None
     ) -> None:
+        """Record a write to ``locn`` (age ``age``) for later read validation."""
         self.writes_checked += 1
         prev = self._max_write_age.get(locn)
         if prev is not None and age <= prev:
@@ -147,6 +148,7 @@ class ConsistencyChecker:
 
     @property
     def ok(self) -> bool:
+        """True when no read violated its declared staleness bound."""
         return self.total_violations == 0
 
     def report(self, max_lines: int = 20) -> str:

@@ -66,6 +66,9 @@ class DsmNode:
         self.local_store: dict[str, VersionedValue] = {}
         self.gr_stats = GlobalReadStats()
         self.stats = DsmNodeStats()
+        #: the machine's trace bus (or None); cached once — the bus is
+        #: installed on the kernel before any DsmNode exists
+        self.obs = dsm.vm.kernel.obs
         #: optional hook called as ``on_update(locn, age, value) -> cost``
         #: for every update :meth:`drain` applies; the returned simulated
         #: seconds are charged with the drain (applications use this to
@@ -105,6 +108,8 @@ class DsmNode:
             )
         self.local_store[locn] = VersionedValue(value=value, age=iter_no, write_time=now)
         self.stats.writes += 1
+        if self.obs is not None:
+            self.obs.emit("dsm.write", node=self.task.tid, locn=locn, iter=iter_no)
         if self.dsm.checker is not None:
             self.dsm.checker.on_write(locn, iter_no, now, writer=self.task.tid)
         payload_bytes = (nbytes if nbytes is not None else spec.value_nbytes)
@@ -221,12 +226,23 @@ class DsmNode:
         if satisfies_age_bound(copy.age if copy else None, curr_iter, age):
             self.gr_stats.hits += 1
             self.gr_stats.record_return(curr_iter, copy.age)
+            if self.obs is not None:
+                self.obs.emit(
+                    "gr.hit", node=self.task.tid, locn=locn,
+                    curr_iter=curr_iter, age=age,
+                    staleness=max(0, curr_iter - copy.age),
+                )
             self._checker_read(locn, copy.age, curr_iter, age)
             return copy
 
         # Blocking path.
         self.gr_stats.blocked += 1
         block_start = self.dsm.vm.kernel.now
+        if self.obs is not None:
+            self.obs.emit(
+                "gr.block", node=self.task.tid, locn=locn,
+                curr_iter=curr_iter, age=age,
+            )
         if self.dsm.mode is GlobalReadMode.REQUEST:
             spec = self.dsm.spec(locn)
             yield from self.task.send(
@@ -245,6 +261,13 @@ class DsmNode:
                 break
         self.gr_stats.block_time += self.dsm.vm.kernel.now - block_start
         self.gr_stats.record_return(curr_iter, copy.age)
+        if self.obs is not None:
+            self.obs.emit(
+                "gr.unblock", node=self.task.tid, locn=locn,
+                curr_iter=curr_iter, age=age,
+                waited=self.dsm.vm.kernel.now - block_start,
+                staleness=max(0, curr_iter - copy.age),
+            )
         self._checker_read(locn, copy.age, curr_iter, age)
         return copy
 
@@ -319,6 +342,7 @@ class Dsm:
         return spec
 
     def spec(self, locn: str) -> SharedLocationSpec:
+        """The :class:`SharedLocationSpec` registered for ``locn``."""
         try:
             return self._specs[locn]
         except KeyError:
@@ -357,4 +381,5 @@ class Dsm:
 
     @property
     def locations(self) -> list[str]:
+        """All registered location names, in registration order."""
         return sorted(self._specs)

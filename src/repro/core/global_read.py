@@ -70,6 +70,7 @@ class GlobalReadStats:
     staleness_histogram: dict[int, int] = field(default_factory=dict)
 
     def record_return(self, curr_iter: int, copy_age: int) -> None:
+        """Fold one returned copy into the staleness histogram."""
         staleness = max(0, curr_iter - copy_age)
         self.staleness_histogram[staleness] = (
             self.staleness_histogram.get(staleness, 0) + 1
@@ -77,10 +78,12 @@ class GlobalReadStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of Global_Read calls served locally without blocking."""
         return self.hits / self.calls if self.calls else 0.0
 
     @property
     def mean_block_time(self) -> float:
+        """Mean blocked time per blocking call (0 when nothing blocked)."""
         return self.block_time / self.blocked if self.blocked else 0.0
 
     def merge(self, other: "GlobalReadStats") -> "GlobalReadStats":

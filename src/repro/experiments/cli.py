@@ -1,17 +1,27 @@
 """Shared command-line plumbing for the experiment runners.
 
 Every runner module exposes ``python -m repro.experiments.<name>`` with
-the same three knobs: ``--scale`` (overrides ``REPRO_SCALE``),
-``--jobs`` (worker processes for :func:`repro.experiments.runner.
-parallel_map`) and ``--faults`` (a :meth:`repro.faults.plan.FaultPlan.
-parse` spec turning the run into a chaos experiment — see DESIGN.md §9
-and EXPERIMENTS.md "Chaos experiments").
+the same knobs:
+
+``--scale``
+    Run-size preset, overriding the ``REPRO_SCALE`` environment variable.
+``--jobs``
+    Worker processes for :func:`repro.experiments.runner.parallel_map`.
+``--faults``
+    A :meth:`repro.faults.plan.FaultPlan.parse` spec turning the run
+    into a chaos experiment (GA-capable drivers only; see DESIGN.md §9).
+``--trace PATH`` / ``--metrics PATH``
+    Observability artifacts (DESIGN.md §10): after the experiment, run
+    one representative traced trial matching the experiment's machine
+    shape and write its JSONL event trace / metrics-snapshot JSON.
+    Render the trace with ``python -m repro.obs report PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 
 from repro.experiments.config import Scale, current_scale
 from repro.faults.plan import FaultPlan
@@ -19,7 +29,25 @@ from repro.faults.plan import FaultPlan
 _SCALES = {"smoke": Scale.smoke, "default": Scale.default, "full": Scale.full}
 
 
-def experiment_parser(description: str) -> argparse.ArgumentParser:
+@dataclass(frozen=True)
+class ExperimentArgs:
+    """Resolved common options shared by every experiment driver."""
+
+    scale: Scale
+    jobs: int | None
+    faults: FaultPlan | None
+    trace: str | None
+    metrics: str | None
+
+
+def experiment_parser(
+    description: str, faults: bool = True
+) -> argparse.ArgumentParser:
+    """Build the shared argument parser.
+
+    ``faults=False`` omits the ``--faults`` knob for drivers whose run
+    function takes no fault plan (table1/table2, figure2/figure3).
+    """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument(
         "--scale",
@@ -33,26 +61,43 @@ def experiment_parser(description: str) -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the trial fan-out (default: auto)",
     )
+    if faults:
+        parser.add_argument(
+            "--faults",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "fault-injection spec, e.g. "
+                "'drop=0.02,dup=0.01,reorder=0.05,seed=7,stop=2.0' "
+                "(see repro.faults.plan.FaultPlan.parse)"
+            ),
+        )
     parser.add_argument(
-        "--faults",
+        "--trace",
         default=None,
-        metavar="SPEC",
+        metavar="PATH",
         help=(
-            "fault-injection spec, e.g. "
-            "'drop=0.02,dup=0.01,reorder=0.05,seed=7,stop=2.0' "
-            "(see repro.faults.plan.FaultPlan.parse)"
+            "write a structured JSONL event trace of one representative "
+            "traced trial to PATH (render: python -m repro.obs report PATH)"
         ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the traced trial's metrics-snapshot JSON to PATH",
     )
     return parser
 
 
 def parse_experiment_args(
     parser: argparse.ArgumentParser, argv: list[str] | None = None
-) -> tuple[Scale, int | None, FaultPlan | None]:
-    """Resolve (scale, jobs, fault plan) from parsed arguments."""
+) -> ExperimentArgs:
+    """Resolve the shared options into an :class:`ExperimentArgs`."""
     args = parser.parse_args(argv)
     scale = _SCALES[args.scale]() if args.scale else current_scale()
-    faults = FaultPlan.parse(args.faults) if args.faults else None
+    raw_faults = getattr(args, "faults", None)
+    faults = FaultPlan.parse(raw_faults) if raw_faults else None
     if faults is not None and (faults.messages.drop > 0 or any(
         f.kind == "crash" for f in faults.node_faults
     )):
@@ -66,4 +111,36 @@ def parse_experiment_args(
             "pause/slow node faults (see DESIGN.md §9)",
             file=sys.stderr,
         )
-    return scale, args.jobs, faults
+    return ExperimentArgs(
+        scale=scale,
+        jobs=args.jobs,
+        faults=faults,
+        trace=args.trace,
+        metrics=args.metrics,
+    )
+
+
+def write_observability(
+    args: ExperimentArgs,
+    app: str,
+    load_bps: float = 0.0,
+    n_nodes: int = 4,
+) -> None:
+    """Honour ``--trace``/``--metrics`` after an experiment finished.
+
+    Delegates to :func:`repro.obs.integration.trace_experiment` (lazy
+    import: drivers that never pass the knobs pay nothing).
+    """
+    if not args.trace and not args.metrics:
+        return
+    from repro.obs.integration import trace_experiment
+
+    trace_experiment(
+        app,
+        args.scale,
+        args.trace,
+        args.metrics,
+        load_bps=load_bps,
+        n_nodes=n_nodes,
+        faults=args.faults,
+    )

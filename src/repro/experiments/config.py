@@ -48,6 +48,7 @@ class Scale:
 
     @classmethod
     def smoke(cls) -> "Scale":
+        """Seconds-scale preset for CI smoke runs."""
         return cls(
             name="smoke",
             ga_runs=2,
@@ -63,6 +64,7 @@ class Scale:
 
     @classmethod
     def default(cls) -> "Scale":
+        """Minutes-scale preset; the default when ``REPRO_SCALE`` is unset."""
         return cls(
             name="default",
             ga_runs=3,
@@ -78,6 +80,7 @@ class Scale:
 
     @classmethod
     def full(cls) -> "Scale":
+        """Paper-faithful preset (8 runs, all functions, full age sweep)."""
         return cls(
             name="full",
             ga_runs=25,

@@ -71,6 +71,7 @@ def run_figure2(scale: Scale | None = None, jobs: int | None = None) -> list[dic
 
 
 def format_figure2(rows: list[dict]) -> str:
+    """Render Figure 2 rows as the best-case and average text tables."""
     if not rows:
         return "Figure 2: no rows"
     labels = list(rows[0]["average"].keys())
@@ -99,3 +100,28 @@ def format_figure2(rows: list[dict]) -> str:
             )
         )
     return "\n\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.figure2`` — run and print Figure 2."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
+
+    parser = experiment_parser(
+        "Figure 2 — GA speedups over the serial baseline on the unloaded "
+        "network, per processor count and coherence variant.",
+        faults=False,
+    )
+    args = parse_experiment_args(parser, argv)
+    print(format_figure2(run_figure2(args.scale, jobs=args.jobs)))
+    write_observability(
+        args, app="ga", n_nodes=args.scale.processor_counts[-1]
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,7 @@ def _figure3_cell(
 def run_figure3(
     scale: Scale | None = None, n_procs: int = 2, jobs: int | None = None
 ) -> list[dict]:
+    """One row per network plus the average row: per-variant speedups at ``n_procs``."""
     scale = scale or current_scale()
     variants = _variants(scale)
     keys = [(name, r) for name in NETWORK_NAMES for r in range(scale.bn_runs)]
@@ -119,6 +120,7 @@ def run_figure3(
 
 
 def format_figure3(rows: list[dict]) -> str:
+    """Render Figure 3 rows as a text table."""
     labels = list(rows[0]["speedups"].keys())
     return text_table(
         ["network", *labels, "best GR vs best competitor"],
@@ -132,3 +134,26 @@ def format_figure3(rows: list[dict]) -> str:
         ],
         title="Figure 3 — Bayesian-network speedups, 2 processors, unloaded network",
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.figure3`` — run and print Figure 3."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
+
+    parser = experiment_parser(
+        "Figure 3 — Bayesian-network inference speedups over the serial "
+        "sampler, 2 processors, unloaded network.",
+        faults=False,
+    )
+    args = parse_experiment_args(parser, argv)
+    print(format_figure3(run_figure3(args.scale, jobs=args.jobs)))
+    write_observability(args, app="bayes", n_nodes=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

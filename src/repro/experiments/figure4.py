@@ -31,6 +31,7 @@ def run_figure4(
     jobs: int | None = None,
     faults: FaultPlan | None = None,
 ) -> list[dict]:
+    """One row per offered load: per-variant speedups on the loaded 4-node machine."""
     scale = scale or current_scale()
     variants = GaVariant.standard_set(scale.ages)
     labels = [v.label for v in variants]
@@ -77,6 +78,7 @@ def run_figure4(
 
 
 def format_figure4(rows: list[dict]) -> str:
+    """Render Figure 4 rows as the best-case and average text tables."""
     labels = list(rows[0]["average"].keys())
     out = []
     for kind, label_key, gain_key in (
@@ -101,16 +103,29 @@ def format_figure4(rows: list[dict]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.experiments.cli import experiment_parser, parse_experiment_args
+    """``python -m repro.experiments.figure4`` — run and print Figure 4."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
 
     parser = experiment_parser(
         "Figure 4 — GA speedups under background network load, optionally "
         "with seeded fault injection (--faults)."
     )
-    scale, jobs, faults = parse_experiment_args(parser, argv)
-    if faults is not None:
-        print(f"fault plan: {faults.describe()}")
-    print(format_figure4(run_figure4(scale, jobs=jobs, faults=faults)))
+    args = parse_experiment_args(parser, argv)
+    if args.faults is not None:
+        print(f"fault plan: {args.faults.describe()}")
+    print(format_figure4(run_figure4(args.scale, jobs=args.jobs, faults=args.faults)))
+    # the traced representative run uses the sweep's heaviest load — the
+    # regime where blocked time and warp are most informative
+    write_observability(
+        args,
+        app="ga",
+        load_bps=args.scale.loads_bps[-1],
+        n_nodes=FIGURE4_PROCS,
+    )
     return 0
 
 

@@ -82,6 +82,7 @@ def run_quality(
 
 
 def format_quality(rows: list[dict], fid: int) -> str:
+    """Render Q1 solution-quality rows as a text table."""
     return text_table(
         ["P", "variant", "optimum found", "runs", "mean final best"],
         [

@@ -42,6 +42,7 @@ class GaVariant:
 
     @classmethod
     def standard_set(cls, ages: tuple[int, ...]) -> list["GaVariant"]:
+        """The paper's variant sweep: sync, async, and Global_Read at each age."""
         out = [
             cls("sync", CoherenceMode.SYNCHRONOUS),
             cls("async", CoherenceMode.ASYNCHRONOUS),

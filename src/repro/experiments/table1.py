@@ -57,6 +57,7 @@ def run_table1(jobs: int | None = None) -> list[dict]:
 
 
 def format_table1(rows: list[dict]) -> str:
+    """Render Table 1 rows as a text table."""
     return text_table(
         ["f", "name", "vars", "limits", "min (paper)", "min (measured)", "ok"],
         [
@@ -69,3 +70,25 @@ def format_table1(rows: list[dict]) -> str:
         title="Table 1 — eight function test bed for GAs",
         float_fmt="{:.4f}",
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.table1`` — run and print Table 1."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
+
+    parser = experiment_parser(
+        "Table 1 — regenerate and verify the eight-function GA test bed.",
+        faults=False,
+    )
+    args = parse_experiment_args(parser, argv)
+    print(format_table1(run_table1(jobs=args.jobs)))
+    write_observability(args, app="ga", n_nodes=4)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,12 +78,14 @@ def _table2_row(name: str, seed: int) -> dict:
 
 
 def run_table2(seed: int = 0, jobs: int | None = None) -> list[dict]:
+    """One row per network: structure metrics, edge cut, serial inference time."""
     return parallel_map(
         _table2_row, [(name, seed) for name in NETWORK_NAMES], jobs=jobs
     )
 
 
 def format_table2(rows: list[dict]) -> str:
+    """Render Table 2 rows as a text table."""
     return text_table(
         [
             "network", "nodes", "edges/node", "values/node",
@@ -99,3 +101,26 @@ def format_table2(rows: list[dict]) -> str:
         ],
         title="Table 2 — four Bayesian belief networks (measured vs paper)",
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.table2`` — run and print Table 2."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
+
+    parser = experiment_parser(
+        "Table 2 — the four Bayesian belief networks: structure metrics, "
+        "partition edge cuts and serial inference times vs the paper.",
+        faults=False,
+    )
+    args = parse_experiment_args(parser, argv)
+    print(format_table2(run_table2(jobs=args.jobs)))
+    write_observability(args, app="bayes", n_nodes=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

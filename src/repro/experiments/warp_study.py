@@ -112,6 +112,7 @@ def run_warp_study(
     jobs: int | None = None,
     faults: FaultPlan | None = None,
 ) -> dict:
+    """Probe-stream warp per load level plus the GA-observed warp comparison."""
     scale = scale or current_scale()
     probe_rows = parallel_map(
         probe_warp,
@@ -138,6 +139,7 @@ def run_warp_study(
 
 
 def format_warp_study(result: dict) -> str:
+    """Render the warp-study result as two text tables."""
     probe = text_table(
         ["load (Mbps)", "mean warp", "max warp", "samples"],
         [
@@ -155,16 +157,24 @@ def format_warp_study(result: dict) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.experiments.cli import experiment_parser, parse_experiment_args
+    """``python -m repro.experiments.warp_study`` — run and print W1."""
+    from repro.experiments.cli import (
+        experiment_parser,
+        parse_experiment_args,
+        write_observability,
+    )
 
     parser = experiment_parser(
         "W1 — warp vs offered load, optionally with seeded fault "
         "injection (--faults)."
     )
-    scale, jobs, faults = parse_experiment_args(parser, argv)
-    if faults is not None:
-        print(f"fault plan: {faults.describe()}")
-    print(format_warp_study(run_warp_study(scale, jobs=jobs, faults=faults)))
+    args = parse_experiment_args(parser, argv)
+    if args.faults is not None:
+        print(f"fault plan: {args.faults.describe()}")
+    print(format_warp_study(run_warp_study(args.scale, jobs=args.jobs, faults=args.faults)))
+    write_observability(
+        args, app="ga", load_bps=args.scale.loads_bps[-1], n_nodes=4
+    )
     return 0
 
 

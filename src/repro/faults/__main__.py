@@ -51,6 +51,7 @@ def _write_traces(results: dict[str, dict], trace_dir: str) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.faults`` entry point; nonzero on chaos-digest mismatch."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
         description="Run the fixed-seed chaos matrix and report digests.",

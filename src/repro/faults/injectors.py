@@ -62,9 +62,11 @@ class FaultStats:
 
     @property
     def injected(self) -> int:
+        """Total injected message faults across all kinds."""
         return self.dropped + self.duplicated + self.delayed + self.reordered
 
     def as_dict(self) -> dict:
+        """Per-kind fault counts as a plain dict."""
         return {
             "eligible": self.eligible,
             "dropped": self.dropped,
@@ -85,12 +87,14 @@ class FaultLog:
         self.dropped_records = 0
 
     def add(self, event: FaultEvent) -> None:
+        """Append ``event``, dropping the oldest entries beyond the bound."""
         if len(self.events) >= self.max_events:
             self.dropped_records += 1
             return
         self.events.append(event)
 
     def rows(self) -> list[dict]:
+        """The retained fault events as JSON-friendly dicts."""
         return [
             {
                 "time": e.time, "kind": e.kind, "src": e.src, "dst": e.dst,
@@ -157,6 +161,11 @@ class MessageFaultInjector:
             time=now, kind=kind, src=frame.src, dst=dst,
             frame_kind=frame.kind, frame_id=frame.frame_id, amount=amount,
         ))
+        if self.kernel.obs is not None:
+            self.kernel.obs.emit(
+                f"fault.{kind}", node=dst, src=frame.src,
+                frame_kind=frame.kind, amount=amount,
+            )
         if self.observer is not None:
             self.observer.on_fault(kind, frame, now)
 
@@ -224,6 +233,7 @@ class MessageFaultInjector:
             self._orig_deliver(frame, dst)
 
     def pending_held(self) -> int:
+        """Frames currently held back by an active reorder window."""
         return sum(len(v) for v in self._held.values())
 
 
@@ -294,6 +304,7 @@ class FaultInjector:
 
     @property
     def observer(self):
+        """The delivery-observer callable to register on the network."""
         return self.messages.observer
 
     @observer.setter
@@ -312,11 +323,16 @@ class FaultInjector:
             time=now, kind="crash-flush", src=node_id, dst=-1,
             frame_kind="*", frame_id=-1, amount=float(lost),
         ))
+        if self.kernel.obs is not None:
+            self.kernel.obs.emit(
+                "fault.crash-flush", node=node_id, amount=float(lost)
+            )
         if self.messages.observer is not None:
             self.messages.observer.on_fault("crash-flush", None, now)
         adapter.queue.clear()
 
     def summary(self) -> dict:
+        """Injected-fault counts and log size, as a dict."""
         out = {"plan": self.plan.describe(), **self.stats.as_dict()}
         out["node_stall_time"] = sum(m.stall_time for m in self.node_models.values())
         out["node_stretch_time"] = sum(m.stretch_time for m in self.node_models.values())

@@ -86,9 +86,11 @@ class MessageFaults:
 
     @property
     def any_rate(self) -> bool:
+        """True when any message-fault probability is nonzero."""
         return (self.drop + self.duplicate + self.delay + self.reorder) > 0.0
 
     def active(self, now: float) -> bool:
+        """Whether the fault window covers simulated time ``now``."""
         return now >= self.start and (self.stop is None or now < self.stop)
 
 
@@ -129,6 +131,7 @@ class NodeFault:
 
     @property
     def end(self) -> float:
+        """End of the fault window in simulated seconds (``inf`` when open)."""
         return self.start + self.duration
 
 
@@ -146,9 +149,11 @@ class FaultPlan:
 
     @property
     def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
         return not self.messages.any_rate and not self.node_faults
 
     def faults_for_node(self, node_id: int) -> tuple[NodeFault, ...]:
+        """The node faults that target ``node_id``."""
         return tuple(
             sorted(
                 (f for f in self.node_faults if f.node == node_id),
@@ -157,6 +162,7 @@ class FaultPlan:
         )
 
     def describe(self) -> str:
+        """Compact human-readable spec string (inverse of :meth:`parse`)."""
         m = self.messages
         parts = [f"seed={self.seed}"]
         for name, rate in (
@@ -174,6 +180,7 @@ class FaultPlan:
     # ------------------------------------------------------------------
     @classmethod
     def none(cls) -> "FaultPlan":
+        """The empty plan (injects nothing)."""
         return cls()
 
     @classmethod
@@ -233,4 +240,5 @@ class FaultPlan:
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of this plan with its RNG seed replaced."""
         return replace(self, seed=seed)

@@ -40,6 +40,7 @@ class BinaryEncoding:
 
     @classmethod
     def for_function(cls, fn: TestFunction, gray: bool = False) -> "BinaryEncoding":
+        """The encoding matching ``fn``'s bit width, bounds and dimensionality."""
         return cls(fn.n_vars, fn.bits_per_var, fn.lower, fn.upper, gray=gray)
 
     @property

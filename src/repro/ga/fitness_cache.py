@@ -81,6 +81,7 @@ class FitnessCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

@@ -42,6 +42,7 @@ from repro.ga.fitness_cache import FitnessCache
 from repro.ga.functions import TestFunction, reseed_f4
 from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
 from repro.ga.population import Population
+from repro.obs.metrics import machine_metrics
 from repro.sim import CompletionCounter, Compute
 
 
@@ -105,8 +106,11 @@ class IslandGaResult:
     max_warp: float = 0.0
     network_utilization: float = 0.0
     gr_stats: GlobalReadStats = field(default_factory=GlobalReadStats)
+    #: repro.obs metrics snapshot (plain dict, see repro.obs.metrics)
+    metrics: dict = field(default_factory=dict)
 
     def found_optimum(self, threshold: float) -> bool:
+        """Whether the best fitness reached ``threshold`` of the known optimum."""
         return self.best_fitness <= threshold
 
 
@@ -283,4 +287,5 @@ def run_island_ga(cfg: IslandGaConfig, instrument=None) -> IslandGaResult:
         max_warp=machine.warp.max_warp if machine.warp else 0.0,
         network_utilization=machine.network.stats.utilization(total_time),
         gr_stats=dsm.merged_gr_stats(),
+        metrics=machine_metrics(machine, dsm=dsm),
     )

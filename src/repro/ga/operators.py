@@ -62,12 +62,14 @@ class ScalingWindow:
     _worsts: deque = field(default_factory=deque)
 
     def update(self, worst_of_generation: float) -> None:
+        """Slide the window forward with this generation's worst raw fitness."""
         self._worsts.append(float(worst_of_generation))
         while len(self._worsts) > self.window:
             self._worsts.popleft()
 
     @property
     def scaling_baseline(self) -> float:
+        """Current scaling baseline: the worst fitness over the window."""
         if not self._worsts:
             raise ValueError("scaling window is empty; call update() first")
         return max(self._worsts)

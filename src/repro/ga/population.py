@@ -30,18 +30,22 @@ class Population:
 
     @property
     def size(self) -> int:
+        """Number of individuals."""
         return self.genomes.shape[0]
 
     @property
     def best_index(self) -> int:
+        """Index of the fittest individual (ties break low)."""
         return int(np.argmin(self.fitness))
 
     @property
     def best_fitness(self) -> float:
+        """Fitness of the fittest individual."""
         return float(self.fitness.min())
 
     @property
     def mean_fitness(self) -> float:
+        """Mean fitness over the population."""
         return float(self.fitness.mean())
 
     def best_individuals(self, k: int) -> tuple[np.ndarray, np.ndarray]:

@@ -49,6 +49,7 @@ class SerialGaResult:
         return float(self.time_history[hit[0]]) if hit.size else None
 
     def found_optimum(self, threshold: float) -> bool:
+        """Whether the best fitness reached ``threshold`` of the known optimum."""
         return bool(self.best_fitness <= threshold)
 
 

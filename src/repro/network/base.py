@@ -84,6 +84,15 @@ class Network:
         self.stats.latency.add(frame.latency)
         for obs in self.delivery_observers:
             obs(frame)
+        bus = self.kernel.obs
+        if bus is not None:
+            # enqueue time rides along so warp (arrival-gap / send-gap
+            # per stream, §4.3) is recomputable from the trace alone
+            bus.emit(
+                "net.deliver", node=dst, src=frame.src,
+                frame_kind=frame.kind, size=frame.size_bytes,
+                enq=frame.enqueue_time,
+            )
         self.adapters[dst]._receive(frame)
 
     def _destinations(self, frame: Frame) -> list[int]:

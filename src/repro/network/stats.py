@@ -20,6 +20,7 @@ class RunningStat:
     max: float = 0.0
 
     def add(self, x: float) -> None:
+        """Fold one sample into the running mean/variance (Welford)."""
         self.count += 1
         delta = x - self.mean
         self.mean += delta / self.count
@@ -29,10 +30,12 @@ class RunningStat:
 
     @property
     def variance(self) -> float:
+        """Sample variance (0 with fewer than two samples)."""
         return self._m2 / self.count if self.count > 1 else 0.0
 
     @property
     def std(self) -> float:
+        """Sample standard deviation."""
         return self.variance**0.5
 
 
@@ -54,6 +57,7 @@ class LinkStats:
         return self.busy_time / now if now > 0 else 0.0
 
     def summary(self, now: float) -> dict:
+        """Frame/byte counts, latency stats and utilization at time ``now``."""
         return {
             "frames_sent": self.frames_sent,
             "bytes_sent": self.bytes_sent,

@@ -34,6 +34,7 @@ class SwitchConfig:
     max_payload: int = 65536
 
     def tx_time(self, payload_bytes: int) -> float:
+        """Wire time for one frame of ``payload_bytes`` at the link rate."""
         if payload_bytes > self.max_payload:
             raise ValueError(
                 f"payload {payload_bytes} exceeds switch MTU {self.max_payload}"
@@ -56,6 +57,7 @@ class SwitchNetwork(Network):
         self._ingress_busy_until: dict[int, float] = {}
 
     def attach(self, node_id, deliver):  # type: ignore[override]
+        """Attach a node and initialise its per-port busy clocks."""
         adapter = super().attach(node_id, deliver)
         self._egress_busy_until[node_id] = 0.0
         self._ingress_busy_until[node_id] = 0.0
@@ -90,4 +92,5 @@ class SwitchNetwork(Network):
             self.kernel.schedule_at(in_done, self._deliver, frame, dst)
 
     def pending_frames(self) -> int:  # frames never queue in adapter queues here
+        """Frames queued on all ports (for deadlock diagnostics)."""
         return 0

@@ -34,6 +34,10 @@ class WarpMeter:
         self.per_stream: dict[tuple[int, int], RunningStat] = defaultdict(RunningStat)
         self.overall = RunningStat()
         self.samples: list[float] = []
+        #: raw samples per (receiver, sender) stream, kept only when
+        #: ``keep_samples`` — feeds the per-stream warp percentiles in
+        #: the repro.obs metrics snapshot
+        self.stream_samples: dict[tuple[int, int], list[float]] = defaultdict(list)
 
     def attach(self, network: Network) -> "WarpMeter":
         """Register on ``network``; returns self for chaining."""
@@ -64,6 +68,7 @@ class WarpMeter:
         self.overall.add(warp)
         if self.keep_samples:
             self.samples.append(warp)
+            self.stream_samples[key].append(warp)
 
     @property
     def mean_warp(self) -> float:
@@ -72,6 +77,7 @@ class WarpMeter:
 
     @property
     def max_warp(self) -> float:
+        """Largest warp sample observed across all streams."""
         return self.overall.max
 
     def stream_means(self) -> dict[tuple[int, int], float]:

@@ -1,0 +1,34 @@
+"""Observability layer: structured tracing, metrics and run reports.
+
+Three pieces (DESIGN.md §10):
+
+* :mod:`repro.obs.bus` — the structured **trace bus**.  Subsystems emit
+  typed events (``gr.block``, ``net.deliver``, ``rb.begin`` …) through
+  cheap ``if kernel.obs is not None`` hooks; the default is *no bus at
+  all*, so golden determinism digests and bench numbers are untouched
+  when tracing is off.  Enable per machine with
+  ``MachineConfig(trace=True)``.
+* :mod:`repro.obs.metrics` — the **metrics registry**: counters, gauges
+  and histograms snapshotted into every experiment's result envelope
+  (``IslandGaResult.metrics`` / ``ParallelLsResult.metrics``) and
+  dumpable as JSON.
+* :mod:`repro.obs.report` — the **report CLI**,
+  ``python -m repro.obs report <trace.jsonl>``, rendering per-node
+  timelines, a blocking/rollback summary and a warp table.
+
+:mod:`repro.obs.integration` runs one traced GA or Bayes trial and is
+what the experiment runners' ``--trace``/``--metrics`` knobs use.  See
+``docs/observability.md`` for the trace schema and a worked example.
+"""
+
+from repro.obs.bus import ObsEvent, TraceBus, read_jsonl
+from repro.obs.metrics import MetricsRegistry, machine_metrics, percentile_from_samples
+
+__all__ = [
+    "ObsEvent",
+    "TraceBus",
+    "read_jsonl",
+    "MetricsRegistry",
+    "machine_metrics",
+    "percentile_from_samples",
+]

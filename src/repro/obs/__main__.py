@@ -1,0 +1,78 @@
+"""``python -m repro.obs`` — render trace reports.
+
+Subcommands
+-----------
+``report <trace.jsonl> [--metrics metrics.json] [--bins N] [--out PATH]``
+    Render the per-node timeline, blocking/rollback summary and warp
+    table of a trace produced by an experiment's ``--trace`` knob (or
+    :meth:`repro.obs.bus.TraceBus.write_jsonl` directly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.bus import read_jsonl
+from repro.obs.report import DEFAULT_BINS, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render observability reports from structured run traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="render a trace.jsonl as a text report")
+    rep.add_argument("trace", help="path to the JSONL trace file")
+    rep.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="optional metrics-snapshot JSON to append to the report",
+    )
+    rep.add_argument(
+        "--bins",
+        type=int,
+        default=DEFAULT_BINS,
+        help=f"timeline strip width in bins (default {DEFAULT_BINS})",
+    )
+    rep.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = list(read_jsonl(args.trace))
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                metrics = json.load(fh)
+        except OSError as exc:
+            print(
+                f"error: cannot read metrics {args.metrics!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    text = render_report(events, metrics=metrics, bins=args.bins)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"report -> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""The structured trace bus: typed run events with a JSONL writer.
+
+A :class:`TraceBus` collects :class:`ObsEvent` records — *what happened,
+when, on which node* — from every instrumented subsystem.  The design
+constraints, in priority order:
+
+1. **Determinism neutrality.**  Emitting an event must never touch an
+   RNG stream, the event queue or any simulated state; the bus only
+   appends to a Python list.  With tracing off there is no bus at all
+   (``kernel.obs is None``) and every hook is a single attribute check,
+   so the golden digests in :mod:`repro.bench.determinism` and
+   :mod:`repro.faults.chaos` are byte-identical either way — and a test
+   pins that they are identical with tracing *on* too.
+2. **Zero dependencies.**  Plain dataclass records, stdlib ``json``.
+3. **Bounded memory.**  The bus keeps at most ``max_events`` records and
+   counts the overflow in :attr:`dropped`, mirroring
+   :class:`repro.faults.injectors.FaultLog`.
+
+Event taxonomy (field details in ``docs/observability.md``):
+
+=============  ========================================================
+``proc.*``     process lifecycle: ``spawn``, ``block``, ``wake``,
+               ``done``, ``fail`` (from :mod:`repro.sim.kernel`)
+``net.deliver``  one frame handed to its destination adapter (carries
+               enqueue time, so warp is recomputable from the trace)
+``node.compute``  one charged compute interval on a node
+``dsm.write``  a producer published an iteration of a shared location
+``gr.hit``     ``Global_Read`` satisfied from the local age buffer
+``gr.block``   ``Global_Read`` parked its caller (bound not met)
+``gr.unblock`` the parked reader resumed; carries the waited seconds
+``rb.begin`` / ``rb.end``  one Time-Warp rollback, with cascade depth
+``bn.commit``  runs committed below the GVT floor
+``gvt.advance``  the central GVT floor moved forward
+``fault.*``    injected faults (``drop``, ``duplicate``, ``delay``,
+               ``reorder``, ``flush``, ``crash-flush``)
+=============  ========================================================
+
+The ``time`` stamp comes from a *clock callable* handed in at
+construction (``lambda: kernel.now``), so components without a kernel
+reference (:class:`repro.bayes.rollback.ProcessorState`) can still emit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured trace record.
+
+    ``node`` is the application-node id the event concerns (-1 when the
+    event is not tied to one, e.g. kernel process bookkeeping); ``fields``
+    carries the kind-specific payload with JSON-scalar values only.
+    """
+
+    time: float
+    kind: str
+    node: int = -1
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready mapping (``t``/``kind``/``node`` + payload)."""
+        out = {"t": self.time, "kind": self.kind, "node": self.node}
+        out.update(self.fields)
+        return out
+
+
+class TraceBus:
+    """Append-only, bounded collector of :class:`ObsEvent` records."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        max_events: int = 500_000,
+    ) -> None:
+        self.clock = clock
+        self.max_events = max_events
+        self.events: list[ObsEvent] = []
+        #: events discarded after the buffer filled (never silently lost)
+        self.dropped = 0
+
+    def emit(self, kind: str, node: int = -1, **fields: Any) -> None:
+        """Record one event stamped with the current simulated time.
+
+        Safe to call from any subsystem at any point in a run: the only
+        side effect is a list append (or a dropped-counter bump once the
+        buffer is full).
+        """
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(ObsEvent(self.clock(), kind, node, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Event count per kind, sorted by kind name."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str) -> int:
+        """Write one sorted-keys JSON object per line; returns the count.
+
+        A trailer line (``kind = "trace.meta"``) records how many events
+        the bounded buffer dropped, so a truncated trace is detectable.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in self.events:
+                fh.write(json.dumps(e.as_dict(), sort_keys=True))
+                fh.write("\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "t": self.events[-1].time if self.events else 0.0,
+                        "kind": "trace.meta",
+                        "node": -1,
+                        "events": len(self.events),
+                        "events_dropped": self.dropped,
+                    },
+                    sort_keys=True,
+                )
+            )
+            fh.write("\n")
+        return len(self.events)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of every event.
+
+        Two runs with identical seeds must produce identical digests —
+        ``tests/obs`` pins this.
+        """
+        h = sha256()
+        for e in self.events:
+            h.update(json.dumps(e.as_dict(), sort_keys=True).encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+def read_jsonl(path: str) -> Iterator[ObsEvent]:
+    """Yield the :class:`ObsEvent` records of a trace file.
+
+    The ``trace.meta`` trailer (and blank lines) are skipped; payload
+    keys other than ``t``/``kind``/``node`` become the event's fields.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            kind = raw.pop("kind")
+            if kind == "trace.meta":
+                continue
+            time = raw.pop("t")
+            node = raw.pop("node", -1)
+            yield ObsEvent(time=time, kind=kind, node=node, fields=raw)

@@ -1,0 +1,314 @@
+"""Render a structured trace (and optional metrics snapshot) as text.
+
+The report answers the questions the paper's evaluation asks of a run:
+
+* **Per-node timeline** — for each application node, an ASCII strip of
+  the run binned into equal time slices: ``#`` computing, ``X`` blocked
+  in ``Global_Read``, ``.`` otherwise (idle / communicating).  A
+  partially asynchronous run shows short, scattered ``X`` runs; a
+  synchronous run shows lock-step blocking bands.
+* **Blocking summary** — per-node ``Global_Read`` calls, hits, blocks
+  and waited time (the Figure-4 age-sensitivity quantity).
+* **Rollback summary** — Time-Warp rollback count, cascade-depth
+  distribution and corrections emitted (the wasted-work quantities of
+  the synchronous-relaxation literature).
+* **Warp table** — per-(receiver, sender) stream warp percentiles,
+  recomputed *from the trace* exactly as :class:`repro.network.warp.
+  WarpMeter` computes them live (arrival-gap / send-gap of consecutive
+  ``net.deliver`` events of kind ``pvm``).
+
+Everything renders deterministically (sorted keys, fixed float formats):
+the report of a fixed-seed run is golden-testable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs.bus import ObsEvent
+from repro.obs.metrics import percentile_from_samples
+
+#: timeline strip width (bins) by default
+DEFAULT_BINS = 60
+
+#: timeline glyphs
+GLYPH_BLOCKED = "X"
+GLYPH_COMPUTE = "#"
+GLYPH_IDLE = "."
+
+
+def _table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Minimal fixed-width text table (no dependency on repro.experiments)."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _intervals(events: list[ObsEvent]) -> tuple[dict, dict]:
+    """(blocked, compute) intervals per node from the event stream.
+
+    Blocked intervals pair each ``gr.block`` with the next ``gr.unblock``
+    on the same (node, locn); an unmatched block extends to the end of
+    the trace (the reader never resumed — e.g. a lossy fault plan).
+    """
+    end_time = events[-1].time if events else 0.0
+    blocked: dict[int, list[tuple[float, float]]] = {}
+    compute: dict[int, list[tuple[float, float]]] = {}
+    open_blocks: dict[tuple[int, str], float] = {}
+    for e in events:
+        if e.kind == "gr.block":
+            open_blocks[(e.node, e.fields.get("locn", ""))] = e.time
+        elif e.kind == "gr.unblock":
+            start = open_blocks.pop((e.node, e.fields.get("locn", "")), None)
+            if start is not None:
+                blocked.setdefault(e.node, []).append((start, e.time))
+        elif e.kind == "node.compute":
+            cost = float(e.fields.get("cost", 0.0))
+            if cost > 0:
+                compute.setdefault(e.node, []).append((e.time, e.time + cost))
+    for (node, _), start in sorted(open_blocks.items()):
+        blocked.setdefault(node, []).append((start, end_time))
+    return blocked, compute
+
+
+def _overlaps(intervals: list[tuple[float, float]], lo: float, hi: float) -> bool:
+    return any(s < hi and e > lo for s, e in intervals)
+
+
+def render_timeline(events: list[ObsEvent], bins: int = DEFAULT_BINS) -> str:
+    """The per-node ASCII timeline section."""
+    if not events:
+        return "Per-node timeline: (no events)"
+    t_end = max(e.time for e in events)
+    if t_end <= 0:
+        return "Per-node timeline: (zero-length run)"
+    blocked, compute = _intervals(events)
+    nodes = sorted(set(blocked) | set(compute))
+    if not nodes:
+        return "Per-node timeline: (no node activity events)"
+    width = bins
+    step = t_end / width
+    lines = [
+        f"Per-node timeline  [0 .. {t_end:.4g}s, {width} bins; "
+        f"{GLYPH_COMPUTE}=compute {GLYPH_BLOCKED}=blocked(Global_Read) "
+        f"{GLYPH_IDLE}=idle/comm]"
+    ]
+    for node in nodes:
+        strip = []
+        for b in range(width):
+            lo, hi = b * step, (b + 1) * step
+            if _overlaps(blocked.get(node, []), lo, hi):
+                strip.append(GLYPH_BLOCKED)
+            elif _overlaps(compute.get(node, []), lo, hi):
+                strip.append(GLYPH_COMPUTE)
+            else:
+                strip.append(GLYPH_IDLE)
+        lines.append(f"  node {node:>3} |{''.join(strip)}|")
+    return "\n".join(lines)
+
+
+def render_blocking(events: list[ObsEvent]) -> str:
+    """The Global_Read blocking summary section."""
+    per_node: dict[int, dict[str, float]] = {}
+    for e in events:
+        if not e.kind.startswith("gr."):
+            continue
+        row = per_node.setdefault(
+            e.node, {"calls": 0, "hits": 0, "blocks": 0, "waited": 0.0, "max_wait": 0.0}
+        )
+        if e.kind == "gr.hit":
+            row["calls"] += 1
+            row["hits"] += 1
+        elif e.kind == "gr.block":
+            row["calls"] += 1
+            row["blocks"] += 1
+        elif e.kind == "gr.unblock":
+            waited = float(e.fields.get("waited", 0.0))
+            row["waited"] += waited
+            row["max_wait"] = max(row["max_wait"], waited)
+    if not per_node:
+        return "Blocking summary: no Global_Read events in trace"
+    rows = []
+    for node in sorted(per_node):
+        r = per_node[node]
+        mean_wait = r["waited"] / r["blocks"] if r["blocks"] else 0.0
+        rows.append(
+            [node, int(r["calls"]), int(r["hits"]), int(r["blocks"]),
+             r["waited"], mean_wait, r["max_wait"]]
+        )
+    totals = [
+        "all",
+        sum(r[1] for r in rows), sum(r[2] for r in rows), sum(r[3] for r in rows),
+        sum(r[4] for r in rows),
+        (sum(r[4] for r in rows) / sum(r[3] for r in rows)) if sum(r[3] for r in rows) else 0.0,
+        max(r[6] for r in rows),
+    ]
+    return _table(
+        ["node", "gr calls", "hits", "blocks", "blocked time (s)",
+         "mean wait (s)", "max wait (s)"],
+        rows + [totals],
+        title="Blocking summary (Global_Read)",
+    )
+
+
+def render_rollback(events: list[ObsEvent]) -> str:
+    """The Time-Warp rollback summary section."""
+    rollbacks = [e for e in events if e.kind == "rb.begin"]
+    ends = [e for e in events if e.kind == "rb.end"]
+    if not rollbacks:
+        return "Rollback summary: no rollback events in trace"
+    depth_counts: dict[int, int] = {}
+    per_node: dict[int, int] = {}
+    for e in rollbacks:
+        d = int(e.fields.get("depth", 0))
+        depth_counts[d] = depth_counts.get(d, 0) + 1
+        per_node[e.node] = per_node.get(e.node, 0) + 1
+    corrections = sum(int(e.fields.get("corrections", 0)) for e in ends)
+    depths = sorted(
+        d for d, n in depth_counts.items() for _ in range(n)
+    )
+    lines = [
+        "Rollback summary (Time-Warp)",
+        f"  rollbacks: {len(rollbacks)}   corrections emitted: {corrections}",
+        f"  cascade depth: mean {sum(depths) / len(depths):.2f}  "
+        f"p50 {percentile_from_samples(depths, 50):.0f}  "
+        f"p90 {percentile_from_samples(depths, 90):.0f}  "
+        f"max {max(depths)}",
+        "  depth histogram: "
+        + "  ".join(f"{d}:{depth_counts[d]}" for d in sorted(depth_counts)),
+        "  per node: "
+        + "  ".join(f"node{n}:{per_node[n]}" for n in sorted(per_node)),
+    ]
+    return "\n".join(lines)
+
+
+def render_warp(events: list[ObsEvent]) -> str:
+    """The per-stream warp table, recomputed from delivery events."""
+    last: dict[tuple[int, int], tuple[float, float]] = {}
+    streams: dict[tuple[int, int], list[float]] = {}
+    for e in events:
+        if e.kind != "net.deliver" or e.fields.get("frame_kind") != "pvm":
+            continue
+        key = (e.node, int(e.fields.get("src", -1)))
+        enq = float(e.fields.get("enq", 0.0))
+        prev = last.get(key)
+        last[key] = (enq, e.time)
+        if prev is None:
+            continue
+        send_gap = enq - prev[0]
+        if send_gap <= 0:
+            continue
+        streams.setdefault(key, []).append((e.time - prev[1]) / send_gap)
+    if not streams:
+        return "Warp table: no pvm delivery events in trace"
+    rows = []
+    all_samples: list[float] = []
+    for (dst, src) in sorted(streams):
+        s = streams[(dst, src)]
+        all_samples.extend(s)
+        rows.append([
+            f"{dst}<-{src}", len(s), sum(s) / len(s),
+            percentile_from_samples(s, 50), percentile_from_samples(s, 90),
+            percentile_from_samples(s, 99), max(s),
+        ])
+    rows.append([
+        "all", len(all_samples), sum(all_samples) / len(all_samples),
+        percentile_from_samples(all_samples, 50),
+        percentile_from_samples(all_samples, 90),
+        percentile_from_samples(all_samples, 99),
+        max(all_samples),
+    ])
+    return _table(
+        ["stream", "samples", "mean", "p50", "p90", "p99", "max"],
+        rows,
+        title="Warp per (receiver <- sender) stream (1.0 = stable load)",
+    )
+
+
+def render_commits(events: list[ObsEvent]) -> str:
+    """GVT / commit progression (Bayes runs only)."""
+    commits = [e for e in events if e.kind == "bn.commit"]
+    advances = [e for e in events if e.kind == "gvt.advance"]
+    if not commits and not advances:
+        return ""
+    total = sum(int(e.fields.get("runs", 0)) for e in commits)
+    final_floor = int(advances[-1].fields.get("floor", 0)) if advances else 0
+    return (
+        "GVT / commits\n"
+        f"  commit batches: {len(commits)}   runs committed: {total}   "
+        f"final GVT floor: {final_floor}"
+    )
+
+
+def render_faults(events: list[ObsEvent]) -> str:
+    """Injected-fault counts (chaos runs only)."""
+    counts: dict[str, int] = {}
+    for e in events:
+        if e.kind.startswith("fault."):
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+    if not counts:
+        return ""
+    return "Injected faults\n  " + "  ".join(
+        f"{k.removeprefix('fault.')}:{v}" for k, v in sorted(counts.items())
+    )
+
+
+def render_metrics(metrics: dict) -> str:
+    """Counters/gauges of a metrics snapshot as two compact tables."""
+    counters = _table(
+        ["counter", "value"],
+        [[k, v] for k, v in sorted(metrics.get("counters", {}).items())],
+        title="Metrics — counters",
+    )
+    gauges = _table(
+        ["gauge", "value"],
+        [[k, v] for k, v in sorted(metrics.get("gauges", {}).items())],
+        title="Metrics — gauges",
+    )
+    return counters + "\n\n" + gauges
+
+
+def render_report(
+    events: list[ObsEvent],
+    metrics: dict | None = None,
+    bins: int = DEFAULT_BINS,
+) -> str:
+    """The full report: header + every applicable section."""
+    events = sorted(events, key=lambda e: e.time)
+    t_end = events[-1].time if events else 0.0
+    header = (
+        f"Trace report — {len(events)} events over {t_end:.4g} simulated "
+        "seconds\n  events by kind: "
+        + "  ".join(
+            f"{k}:{v}"
+            for k, v in sorted(Counter(e.kind for e in events).items())
+        )
+    )
+    sections = [
+        header,
+        render_timeline(events, bins=bins),
+        render_blocking(events),
+        render_rollback(events),
+        render_warp(events),
+        render_commits(events),
+        render_faults(events),
+    ]
+    if metrics is not None:
+        sections.append(render_metrics(metrics))
+    return "\n\n".join(s for s in sections if s)

@@ -49,18 +49,22 @@ class PackBuffer:
         return self
 
     def pkint(self, values: int | Sequence[int]) -> "PackBuffer":
+        """Pack a signed int (pvm_pkint)."""
         arr = np.atleast_1d(np.array(values, dtype=np.int64, copy=True))
         return self._pack("int", arr, arr.size)
 
     def pkdouble(self, values: float | Sequence[float]) -> "PackBuffer":
+        """Pack a float (pvm_pkdouble)."""
         arr = np.atleast_1d(np.array(values, dtype=np.float64, copy=True))
         return self._pack("double", arr, arr.size)
 
     def pkbyte(self, values: bytes | Sequence[int]) -> "PackBuffer":
+        """Pack a single byte (pvm_pkbyte)."""
         arr = np.frombuffer(bytes(values), dtype=np.uint8).copy()
         return self._pack("byte", arr, arr.size)
 
     def pkstr(self, value: str) -> "PackBuffer":
+        """Pack a UTF-8 string with a length prefix (pvm_pkstr)."""
         data = value.encode("utf-8")
         return self._pack("str", data, len(data) + 1)  # NUL terminator
 
@@ -78,15 +82,19 @@ class PackBuffer:
         return values
 
     def upkint(self) -> np.ndarray:
+        """Unpack a signed int (pvm_upkint)."""
         return self._unpack("int")
 
     def upkdouble(self) -> np.ndarray:
+        """Unpack a float (pvm_upkdouble)."""
         return self._unpack("double")
 
     def upkbyte(self) -> np.ndarray:
+        """Unpack a single byte (pvm_upkbyte)."""
         return self._unpack("byte")
 
     def upkstr(self) -> str:
+        """Unpack a string packed by :meth:`pkstr` (pvm_upkstr)."""
         return bytes(self._unpack("str")).decode("utf-8")
 
     def rewind(self) -> None:
@@ -95,6 +103,7 @@ class PackBuffer:
 
     @property
     def exhausted(self) -> bool:
+        """True once every packed item has been unpacked."""
         return self._cursor >= len(self._records)
 
 
@@ -124,6 +133,7 @@ class Message:
 
     @property
     def latency(self) -> float:
+        """Delivery latency in simulated seconds (requires both timestamps)."""
         if self.arrival_time < 0 or self.send_time < 0:
             raise ValueError("message not delivered yet")
         return self.arrival_time - self.send_time

@@ -53,9 +53,11 @@ class PvmOverheads:
     header_bytes: int = 32
 
     def send_cost(self, nbytes: int) -> float:
+        """Sender-side CPU cost of shipping ``n_bytes``."""
         return self.send_fixed + self.send_per_byte * nbytes
 
     def recv_cost(self, nbytes: int) -> float:
+        """Receiver-side CPU cost of absorbing ``n_bytes``."""
         return self.recv_fixed + self.recv_per_byte * nbytes
 
 
@@ -307,4 +309,5 @@ class VirtualMachine:
             adapter.send(frame)
 
     def total_messages(self) -> int:
+        """Total messages sent through this VM."""
         return sum(t.messages_sent for t in self.tasks.values())

@@ -70,6 +70,7 @@ class CompletionCounter:
         self.remaining -= 1
 
     def all_done(self) -> bool:
+        """True when every registered process has finished."""
         return self.remaining == 0
 
 
@@ -91,6 +92,10 @@ class Kernel:
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.tracer = tracer
+        #: optional repro.obs.bus.TraceBus; every subsystem's trace hook
+        #: is guarded by ``kernel.obs is not None`` so the default costs
+        #: one attribute check and changes nothing about the run
+        self.obs = None
         self._pids = itertools.count()
         self.processes: list[ProcessHandle] = []
         self._events_executed = 0
@@ -140,6 +145,8 @@ class Kernel:
         )
         self.processes.append(handle)
         self.queue.push_immediate(self.now, self._step, (handle, None))
+        if self.obs is not None:
+            self.obs.emit("proc.spawn", pid=handle.pid, name=handle.name)
         return handle
 
     def _wake_from_signal(self, handle: ProcessHandle, signal: Signal) -> None:
@@ -153,6 +160,10 @@ class Kernel:
         handle._parked_on = ()
         handle.state = ProcessState.READY
         self.queue.push_immediate(self.now, self._step, (handle, signal))
+        if self.obs is not None:
+            self.obs.emit(
+                "proc.wake", pid=handle.pid, name=handle.name, signal=signal.name
+            )
 
     def _notify_watchers(self, handle: ProcessHandle) -> None:
         if handle._watchers:
@@ -168,6 +179,8 @@ class Kernel:
             j.state = ProcessState.READY
             self.queue.push_immediate(self.now, self._step, (j, result))
         self._notify_watchers(handle)
+        if self.obs is not None:
+            self.obs.emit("proc.done", pid=handle.pid, name=handle.name)
 
     def _step(self, handle: ProcessHandle, send_value: Any) -> None:
         """Advance one process by one yield."""
@@ -184,6 +197,11 @@ class Kernel:
             handle.error = exc
             self._failure = ProcessFailure(handle.name, exc)
             self._notify_watchers(handle)
+            if self.obs is not None:
+                self.obs.emit(
+                    "proc.fail", pid=handle.pid, name=handle.name,
+                    error=type(exc).__name__,
+                )
             return
         handler = _DISPATCH.get(request.__class__)
         if handler is None:
@@ -204,12 +222,22 @@ class Kernel:
         handle.state = ProcessState.BLOCKED
         handle._parked_on = (request.signal,)
         request.signal._waiters.append(handle)
+        if self.obs is not None:
+            self.obs.emit(
+                "proc.block", pid=handle.pid, name=handle.name,
+                signal=request.signal.name,
+            )
 
     def _do_wait_any(self, handle: ProcessHandle, request: WaitAny) -> None:
         handle.state = ProcessState.BLOCKED
         handle._parked_on = request.signals
         for s in request.signals:
             s._waiters.append(handle)
+        if self.obs is not None:
+            self.obs.emit(
+                "proc.block", pid=handle.pid, name=handle.name,
+                signal="|".join(s.name for s in request.signals),
+            )
 
     def _do_yield(self, handle: ProcessHandle, request: Yield) -> None:
         handle.state = ProcessState.READY
@@ -357,6 +385,7 @@ class Kernel:
     # ------------------------------------------------------------------
     @property
     def events_executed(self) -> int:
+        """Number of events executed so far."""
         return self._events_executed
 
     def stats(self) -> dict:

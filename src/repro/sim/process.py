@@ -82,6 +82,7 @@ class Signal:
 
     @property
     def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
         return len(self._waiters)
 
     def fire(self) -> None:
@@ -152,6 +153,7 @@ class ProcessHandle:
 
     @property
     def done(self) -> bool:
+        """True once the process has finished (normally or by failure)."""
         return self.state in (ProcessState.DONE, ProcessState.FAILED)
 
     def describe_block(self) -> str:

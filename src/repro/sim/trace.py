@@ -49,6 +49,7 @@ class Tracer:
         self.records.append(TraceRecord(time, label))
 
     def labels(self) -> list[str]:
+        """The distinct event labels recorded, in first-seen order."""
         return [r.label for r in self.records]
 
     def digest(self) -> str:

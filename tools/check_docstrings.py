@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the published ``repro`` API surface.
+
+Walks every module under ``src/repro/`` with :mod:`ast` (no imports, so
+it is safe on any file the repo can hold) and requires a docstring on:
+
+* every module,
+* every public class, and
+* every public function/method (sync or async).
+
+"Public" means the name has no leading underscore and none of its
+enclosing scopes do (``_helper.method`` is private; ``Class._x`` is
+private; anything in a ``_private.py`` module is private).  Dunder
+methods are exempt (``__init__`` included: the class docstring is the
+construction contract), as are trivial one-statement overrides whose
+body is ``pass``/``...``, ``@overload`` stubs, and property
+setters/deleters (they share the getter's docstring).
+
+Exit status is the number of findings (0 = gate passes), so CI can run
+it directly.  ``--json`` emits machine-readable findings for tooling.
+
+Usage::
+
+    python tools/check_docstrings.py [--root src/repro] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+#: (module-relative path, qualified name) pairs exempt from the gate.
+#: Keep this list short and justified — it is the escape hatch, not the
+#: norm.  Entries use the module path as reported in findings.
+ALLOWLIST: set[tuple[str, str]] = set()
+
+#: dunders whose docstring the gate insists on (the rest are exempt)
+_REQUIRED_DUNDERS: set[str] = set()
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+def _dunder_exempt(name: str) -> bool:
+    return (
+        name.startswith("__")
+        and name.endswith("__")
+        and name not in _REQUIRED_DUNDERS
+    )
+
+
+def _is_trivial(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """``pass``/``...`` bodies and ``@overload`` stubs need no docstring."""
+    for deco in node.decorator_list:
+        name = deco.attr if isinstance(deco, ast.Attribute) else (
+            deco.id if isinstance(deco, ast.Name) else None
+        )
+        if name == "overload":
+            return True
+        # a property *setter* (``@x.setter``) shares the getter's docstring
+        if isinstance(deco, ast.Attribute) and deco.attr in ("setter", "deleter"):
+            return True
+    if len(node.body) == 1:
+        stmt = node.body[0]
+        if isinstance(stmt, ast.Pass):
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return True  # `...` or a bare docstring-only body
+        if isinstance(stmt, (ast.Raise, ast.Return)):
+            # one-line `raise NotImplementedError` / delegating return
+            return False
+    return False
+
+
+def _walk(
+    node: ast.AST, module: str, scope: tuple[str, ...], findings: list[dict]
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            name = child.name
+            qual = ".".join((*scope, name))
+            private_scope = any(
+                part.startswith("_") and not part.startswith("__")
+                for part in scope
+            )
+            needs = (
+                _is_public(name)
+                and not private_scope
+                and not _dunder_exempt(name)
+            )
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if needs and not _is_trivial(child) and not ast.get_docstring(child):
+                    if (module, qual) not in ALLOWLIST:
+                        findings.append(
+                            {
+                                "module": module,
+                                "name": qual,
+                                "kind": "function",
+                                "line": child.lineno,
+                            }
+                        )
+                # don't descend into functions: nested defs are local detail
+                continue
+            if needs and not ast.get_docstring(child):
+                if (module, qual) not in ALLOWLIST:
+                    findings.append(
+                        {
+                            "module": module,
+                            "name": qual,
+                            "kind": "class",
+                            "line": child.lineno,
+                        }
+                    )
+            _walk(child, module, (*scope, name), findings)
+
+
+def check_file(path: Path, root: Path) -> list[dict]:
+    """All docstring findings for one module file."""
+    rel = path.relative_to(root.parent).as_posix()
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    findings: list[dict] = []
+    private_module = any(
+        part.startswith("_") and not part.startswith("__")
+        for part in path.relative_to(root).parts
+    )
+    if not ast.get_docstring(tree) and not private_module:
+        if (rel, "<module>") not in ALLOWLIST:
+            findings.append(
+                {"module": rel, "name": "<module>", "kind": "module", "line": 1}
+            )
+    if not private_module:
+        _walk(tree, rel, (), findings)
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; the exit status is the number of findings."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default="src/repro",
+        help="package root to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: no such package root: {root}", file=sys.stderr)
+        return 2
+    findings: list[dict] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(check_file(path, root))
+    if args.json:
+        print(json.dumps(findings, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f"{f['module']}:{f['line']}: {f['kind']} `{f['name']}` has no docstring")
+        total = sum(1 for _ in root.rglob("*.py"))
+        print(
+            f"docstring gate: {len(findings)} finding(s) across "
+            f"{total} module(s)"
+        )
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
