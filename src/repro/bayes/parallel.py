@@ -308,7 +308,10 @@ def run_parallel_logic_sampling(
                         vals[v] = net.sample_node_scalar(v, pv, us[i])
                     if stage_nodes:
                         yield Compute(
-                            node.cost(cfg.costs.sample_per_node * len(stage_nodes))
+                            node.cost(
+                                cfg.costs.sample_per_node * len(stage_nodes),
+                                label="sample",
+                            )
                         )
                     if s in sync_pubs[p]:
                         snap = [vals[v] for v in sync_pubs[p][s]]
@@ -330,7 +333,9 @@ def run_parallel_logic_sampling(
                     yield from dnode.drain()
                 yield from drain_corrections()
                 st.sample_iteration(t, rng, oracle)
-                yield Compute(node.cost(cfg.costs.iteration_cost(len(st.own_nodes))))
+                yield Compute(
+                    node.cost(cfg.costs.iteration_cost(len(st.own_nodes)), label="sample")
+                )
                 if st.interface_nodes:
                     unpublished.append(t)
                     if len(unpublished) >= batch or t == cfg.max_iterations:
@@ -371,7 +376,8 @@ def run_parallel_logic_sampling(
                     if added:
                         yield Compute(
                             node.cost(
-                                added * cfg.costs.commit_per_iter + cfg.costs.ci_check
+                                added * cfg.costs.commit_per_iter + cfg.costs.ci_check,
+                                label="commit",
                             )
                         )
                         recorder.committed = est.n

@@ -248,14 +248,24 @@ class ProcessorState:
         oracle.sampled(self.proc, t)
 
     def apply_actual(
-        self, u: int, t: int, value: int, rng: np.random.Generator, oracle: GvtOracle
+        self,
+        u: int,
+        t: int,
+        value: int,
+        rng: np.random.Generator,
+        oracle: GvtOracle,
+        cause: str = "actual",
+        version: int = 0,
     ) -> list[tuple[int, int, int, int]]:
         """Fold an actual remote value in; returns corrections to send.
 
         Corrections are ``(node, t, new_value, version)`` tuples for our
         own interface nodes whose already-published value for ``t``
         changed; ``version`` is the per-(node, t) sequence number readers
-        use to discard stale reordered corrections.
+        use to discard stale reordered corrections.  ``cause`` and
+        ``version`` only annotate the ``rb.begin`` trace event (what kind
+        of message triggered a rollback, and which correction version);
+        they never affect the fold itself.
         """
         old = self.remote_values.get((u, t))
         self.remote_values[(u, t)] = value
@@ -266,11 +276,11 @@ class ProcessorState:
                 self.stats.gamble_hits += 1
                 return []
             self.stats.rollbacks += 1
-            return self._recompute(u, t, rng, oracle)
+            return self._recompute(u, t, rng, oracle, cause="gamble", version=version)
         if old is not None and old != value:
             # a correction superseding an earlier actual: cascade rollback
             self.stats.rollbacks += 1
-            return self._recompute(u, t, rng, oracle)
+            return self._recompute(u, t, rng, oracle, cause=cause, version=version)
         return []
 
     def fold_correction(
@@ -294,10 +304,18 @@ class ProcessorState:
             self.stats.stale_corrections += 1
             return []
         self.applied_versions[(u, t)] = version
-        return self.apply_actual(u, t, value, rng, oracle)
+        return self.apply_actual(
+            u, t, value, rng, oracle, cause="correction", version=version
+        )
 
     def _recompute(
-        self, u: int, t: int, rng: np.random.Generator, oracle: GvtOracle
+        self,
+        u: int,
+        t: int,
+        rng: np.random.Generator,
+        oracle: GvtOracle,
+        cause: str = "actual",
+        version: int = 0,
     ) -> list[tuple[int, int, int, int]]:
         """Resample the descendants of ``u`` for run ``t``; diff publications."""
         vals = self.own_values.get(t)
@@ -307,8 +325,11 @@ class ProcessorState:
         self.stats.nodes_resampled += len(affected)
         self.stats.record_rollback_depth(len(affected))
         if self.obs is not None:
+            # cause ∈ {gamble, actual, correction}; writer = the process
+            # owning the triggering input — the parent edge of a cascade
             self.obs.emit(
-                "rb.begin", node=self.proc, input=u, iter=t, depth=len(affected)
+                "rb.begin", node=self.proc, input=u, iter=t, depth=len(affected),
+                cause=cause, writer=self.remote_parents.get(u, -1), version=version,
             )
         changed: list[tuple[int, int, int, int]] = []
         us = rng.random(len(affected))

@@ -168,11 +168,68 @@ def bench_faulted_kernel(repeat: int = 3) -> dict:
     }
 
 
+def bench_obs(repeat: int = 2) -> dict:
+    """Tracing + causal-analysis overhead on a small parallel GA run.
+
+    Two timings of the same 2-deme island-GA run (the GOLDEN recipe):
+    tracing off vs on — the ratio prices the obs hooks on the
+    simulation's hot paths (``if obs is not None`` guards plus event
+    appends).  Span building is timed separately over the traced run's
+    events (build + attribute + critical path), since the causal layer
+    runs offline, after the simulation.
+    """
+    from dataclasses import replace
+
+    from repro.core.coherence import CoherenceMode
+    from repro.experiments.config import Scale
+    from repro.experiments.speedup import machine_for
+    from repro.ga.island import IslandGaConfig, run_island_ga
+    from repro.obs.causal import attribute, build_spans, critical_path
+
+    def one_run(trace: bool):
+        machine = replace(machine_for(Scale.smoke(), 2, 7), trace=trace)
+        holder: dict = {}
+        run_island_ga(
+            IslandGaConfig(
+                fn=get_function(1),
+                n_demes=2,
+                mode=CoherenceMode.NON_STRICT,
+                age=10,
+                n_generations=40,
+                seed=7,
+                machine=machine,
+            ),
+            instrument=lambda dsm: holder.setdefault("dsm", dsm),
+        )
+        return holder["dsm"].vm.kernel.obs
+
+    _, off_s = timed(one_run, False, repeat=repeat)
+    bus, on_s = timed(one_run, True, repeat=repeat)
+    events = list(bus.events)
+
+    def analyse() -> int:
+        g = build_spans(events)
+        attribute(g)
+        critical_path(g)
+        return g.events
+
+    n_events, span_s = timed(analyse, repeat=repeat)
+    return {
+        "obs_trace_events": float(n_events),
+        "obs_off_wall_s": off_s,
+        "obs_on_wall_s": on_s,
+        "obs_overhead_ratio": on_s / off_s,
+        "obs_span_build_wall_s": span_s,
+        "obs_span_build_events_per_sec": n_events / span_s,
+    }
+
+
 def run_micro(repeat: int = 2) -> dict:
     """The full micro suite as one flat dict (the BENCH ``micro`` block)."""
     out: dict = {}
     out.update(bench_kernel(repeat=repeat))
     out.update(bench_faulted_kernel(repeat=repeat))
+    out.update(bench_obs(repeat=repeat))
     out.update(bench_ga(repeat=repeat))
     out.update(bench_bayes(repeat=repeat))
     return out

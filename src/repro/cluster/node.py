@@ -57,9 +57,15 @@ class Node:
         # mean multiplier is exactly 1 and jitter never biases mean cost.
         self._mu = -0.5 * spec.jitter_sigma**2
 
-    def cost(self, baseline_seconds: float) -> float:
+    def cost(self, baseline_seconds: float, label: str | None = None) -> float:
         """This node's cost for work that takes ``baseline_seconds`` on the
-        reference node (jittered, mean-preserving)."""
+        reference node (jittered, mean-preserving).
+
+        ``label`` optionally names the operation ("evolve", "sample", …)
+        and rides along on the ``node.compute`` trace event as ``op`` so
+        the causal span builder can tell application phases apart; it has
+        no effect on the returned cost.
+        """
         if baseline_seconds < 0:
             raise ValueError("baseline cost must be >= 0")
         scaled = baseline_seconds / self.spec.speed_factor
@@ -72,10 +78,10 @@ class Node:
             scaled = self.fault_model.perturb(self.kernel.now, scaled)
         bus = self.kernel.obs
         if bus is not None:
-            bus.emit(
-                "node.compute", node=self.node_id,
-                baseline=baseline_seconds, cost=scaled,
-            )
+            fields: dict = dict(baseline=baseline_seconds, cost=scaled)
+            if label is not None:
+                fields["op"] = label
+            bus.emit("node.compute", node=self.node_id, **fields)
         return scaled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

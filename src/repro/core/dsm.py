@@ -121,7 +121,8 @@ class DsmNode:
         for requester, min_age in pending:
             if iter_no >= min_age:
                 yield from self.task.send(
-                    requester, DSM_UPDATE_TAG, (locn, iter_no, value, now), wire_bytes
+                    requester, DSM_UPDATE_TAG, (locn, iter_no, value, now), wire_bytes,
+                    trace_ref=self._ref(locn, iter_no),
                 )
                 self.stats.updates_sent += 1
                 self.stats.requests_served += 1
@@ -137,9 +138,19 @@ class DsmNode:
         else:
             yield from self._coalescing_propagate(spec, value, iter_no, now, wire_bytes)
 
+    def _ref(self, locn: str, iter_no: int) -> str | None:
+        """Content-addressed lineage id for a write, or None when untraced.
+
+        ``"locn@iter"`` is a pure function of (location, iteration) — never
+        a process-global counter — so identical-seed runs emit identical
+        traces (the bit-identity contract of DESIGN.md §10).
+        """
+        return f"{locn}@{iter_no}" if self.obs is not None else None
+
     def _propagate(self, spec, value, iter_no, write_time, wire_bytes) -> Generator:
         yield from self.task.mcast(
-            spec.readers, DSM_UPDATE_TAG, (spec.name, iter_no, value, write_time), wire_bytes
+            spec.readers, DSM_UPDATE_TAG, (spec.name, iter_no, value, write_time), wire_bytes,
+            trace_ref=self._ref(spec.name, iter_no),
         )
         self.stats.updates_sent += len(spec.readers)
 
@@ -262,11 +273,15 @@ class DsmNode:
         self.gr_stats.block_time += self.dsm.vm.kernel.now - block_start
         self.gr_stats.record_return(curr_iter, copy.age)
         if self.obs is not None:
+            # ref names the write that unblocked us; writer its producer —
+            # together the blocking-cause edge of the causal span graph
+            spec = self.dsm.spec(locn)
             self.obs.emit(
                 "gr.unblock", node=self.task.tid, locn=locn,
                 curr_iter=curr_iter, age=age,
                 waited=self.dsm.vm.kernel.now - block_start,
                 staleness=max(0, curr_iter - copy.age),
+                ref=f"{locn}@{copy.age}", writer=spec.writer,
             )
         self._checker_read(locn, copy.age, curr_iter, age)
         return copy
@@ -303,7 +318,8 @@ class DsmNode:
             if copy is not None and copy.age >= min_age:
                 wire = spec.value_nbytes + UPDATE_HEADER_BYTES
                 yield from self.task.send(
-                    msg.src, DSM_UPDATE_TAG, (locn, copy.age, copy.value, copy.write_time), wire
+                    msg.src, DSM_UPDATE_TAG, (locn, copy.age, copy.value, copy.write_time), wire,
+                    trace_ref=self._ref(locn, copy.age),
                 )
                 self.stats.updates_sent += 1
                 self.stats.requests_served += 1

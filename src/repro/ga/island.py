@@ -180,7 +180,8 @@ def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder)
             pop = evolve_one_generation(pop, cfg.params, scaling, cache, rng)
             yield Compute(
                 node.cost(
-                    cfg.costs.generation_cost(fn, pop.size, cache.misses - misses_before)
+                    cfg.costs.generation_cost(fn, pop.size, cache.misses - misses_before),
+                    label="evolve",
                 )
             )
             best_so_far = min(best_so_far, pop.best_fitness)
@@ -215,7 +216,10 @@ def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder)
                 pool_g = np.concatenate([a[0] for a in arrivals], axis=0)
                 pool_f = np.concatenate([a[1] for a in arrivals], axis=0)
                 yield Compute(
-                    node.cost(cfg.costs.incorporate_per_migrant * pool_f.size)
+                    node.cost(
+                        cfg.costs.incorporate_per_migrant * pool_f.size,
+                        label="incorporate",
+                    )
                 )
                 order = np.argsort(pool_f, kind="stable")[:n_mig]
                 pop.replace_worst(pool_g[order], pool_f[order])

@@ -88,11 +88,15 @@ class Network:
         if bus is not None:
             # enqueue time rides along so warp (arrival-gap / send-gap
             # per stream, §4.3) is recomputable from the trace alone
-            bus.emit(
-                "net.deliver", node=dst, src=frame.src,
-                frame_kind=frame.kind, size=frame.size_bytes,
-                enq=frame.enqueue_time,
+            fields: dict = dict(
+                src=frame.src, frame_kind=frame.kind,
+                size=frame.size_bytes, enq=frame.enqueue_time,
             )
+            if frame.trace_ref is not None:
+                # content-addressed lineage ref (e.g. "migrants.0@7") set
+                # by the sender; joins this delivery to its dsm.write
+                fields["ref"] = frame.trace_ref
+            bus.emit("net.deliver", node=dst, **fields)
         self.adapters[dst]._receive(frame)
 
     def _destinations(self, frame: Frame) -> list[int]:

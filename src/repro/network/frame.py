@@ -40,6 +40,13 @@ class Frame:
     enqueue_time / tx_start_time / deliver_time:
         Filled in by the link model as the frame progresses; used to
         compute queueing delays and the warp metric.
+    trace_ref:
+        Optional causal-lineage tag copied from the originating
+        :class:`~repro.pvm.message.Message`.  Content-addressed (e.g.
+        ``"migrants.0@7"``), *never* an id from a process-global counter,
+        so identical-seed runs emit identical traces.  ``None`` unless
+        tracing is enabled; carried through to the ``net.deliver`` trace
+        event so the span builder can join writes to deliveries.
     """
 
     src: int
@@ -51,6 +58,7 @@ class Frame:
     enqueue_time: float = -1.0
     tx_start_time: float = -1.0
     deliver_time: float = -1.0
+    trace_ref: str | None = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -14,7 +14,21 @@ Three pieces (DESIGN.md §10):
   dumpable as JSON.
 * :mod:`repro.obs.report` — the **report CLI**,
   ``python -m repro.obs report <trace.jsonl>``, rendering per-node
-  timelines, a blocking/rollback summary and a warp table.
+  timelines, a blocking/rollback summary and a warp table (``--json``
+  for the machine-readable envelope).
+
+On top of the flat trace sits the **causal layer** (DESIGN.md §11):
+
+* :mod:`repro.obs.causal` — span builder (compute / Global_Read-wait /
+  rollback spans + ``dsm.write → net.deliver → gr.unblock`` message
+  lineage), per-node wall-time attribution, and the backward
+  critical-path walk (``python -m repro.obs critical-path``).
+* :mod:`repro.obs.diff` — cross-run trace diffing aligned by
+  iteration (``python -m repro.obs diff A.jsonl B.jsonl``).
+* :mod:`repro.obs.dashboard` — zero-dependency single-file HTML run
+  dashboard (``python -m repro.obs dashboard``).
+* :mod:`repro.obs.schema` — trace-schema validation
+  (``python -m repro.obs validate``), the CI gate on trace artifacts.
 
 :mod:`repro.obs.integration` runs one traced GA or Bayes trial and is
 what the experiment runners' ``--trace``/``--metrics`` knobs use.  See
@@ -22,12 +36,24 @@ what the experiment runners' ``--trace``/``--metrics`` knobs use.  See
 """
 
 from repro.obs.bus import ObsEvent, TraceBus, read_jsonl
+from repro.obs.causal import (
+    SpanGraph,
+    attribute,
+    build_spans,
+    critical_path,
+    critical_path_report,
+)
 from repro.obs.metrics import MetricsRegistry, machine_metrics, percentile_from_samples
 
 __all__ = [
     "ObsEvent",
     "TraceBus",
     "read_jsonl",
+    "SpanGraph",
+    "build_spans",
+    "attribute",
+    "critical_path",
+    "critical_path_report",
     "MetricsRegistry",
     "machine_metrics",
     "percentile_from_samples",

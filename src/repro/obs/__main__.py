@@ -1,11 +1,27 @@
-"""``python -m repro.obs`` — render trace reports.
+"""``python -m repro.obs`` — trace reports, causal analysis, diffs.
 
 Subcommands
 -----------
-``report <trace.jsonl> [--metrics metrics.json] [--bins N] [--out PATH]``
+``report <trace.jsonl> [--metrics m.json] [--bins N] [--json] [--out PATH]``
     Render the per-node timeline, blocking/rollback summary and warp
     table of a trace produced by an experiment's ``--trace`` knob (or
-    :meth:`repro.obs.bus.TraceBus.write_jsonl` directly).
+    :meth:`repro.obs.bus.TraceBus.write_jsonl` directly).  ``--json``
+    emits the machine-readable ``repro-obs-report/1`` envelope instead
+    of text.
+``critical-path <trace.jsonl> [--out PATH]``
+    Build the causal span graph, attribute wall time to
+    compute/blocking/network/rollback per node, and walk the critical
+    path; emits the ``repro-obs-critical-path/1`` JSON artifact.
+``diff <A.jsonl> <B.jsonl> [--bins N] [--json] [--out PATH]``
+    Align two runs by iteration and report where blocking, staleness,
+    warp and rollback depth diverge.  All deltas are B − A.
+``dashboard <trace.jsonl> [--metrics m.json] [--title T] [--out PATH]``
+    Render a zero-dependency single-file HTML dashboard (per-node
+    timelines, critical path, warp-over-time, staleness histogram);
+    default output is the trace path with an ``.html`` suffix.
+``validate <trace.jsonl> [--strict]``
+    Check a trace file against the documented event schema; exit 1 on
+    violations (the CI gate for trace-producing jobs).
 """
 
 from __future__ import annotations
@@ -15,63 +31,178 @@ import json
 import sys
 
 from repro.obs.bus import read_jsonl
-from repro.obs.report import DEFAULT_BINS, render_report
+from repro.obs.causal import critical_path_report
+from repro.obs.dashboard import render_dashboard
+from repro.obs.diff import DEFAULT_DIFF_BINS, diff_traces, render_diff
+from repro.obs.report import DEFAULT_BINS, render_report, report_dict
+from repro.obs.schema import validate_trace
+
+
+def _read_events(path: str) -> list:
+    return list(read_jsonl(path))
+
+
+def _read_metrics(path: str | None) -> dict | None:
+    if not path:
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _write_out(text: str, out: str | None, what: str) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"{what} -> {out}")
+    else:
+        print(text)
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Render observability reports from structured run traces.",
+        description="Observability reports and causal analysis of run traces.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    rep = sub.add_parser("report", help="render a trace.jsonl as a text report")
+
+    rep = sub.add_parser("report", help="render a trace.jsonl as a report")
     rep.add_argument("trace", help="path to the JSONL trace file")
     rep.add_argument(
-        "--metrics",
-        default=None,
-        metavar="PATH",
+        "--metrics", default=None, metavar="PATH",
         help="optional metrics-snapshot JSON to append to the report",
     )
     rep.add_argument(
-        "--bins",
-        type=int,
-        default=DEFAULT_BINS,
+        "--bins", type=int, default=DEFAULT_BINS,
         help=f"timeline strip width in bins (default {DEFAULT_BINS})",
     )
     rep.add_argument(
-        "--out",
-        default=None,
-        metavar="PATH",
+        "--json", action="store_true",
+        help="emit the repro-obs-report/1 JSON envelope instead of text",
+    )
+    rep.add_argument(
+        "--out", default=None, metavar="PATH",
         help="write the report to PATH instead of stdout",
     )
+
+    cpp = sub.add_parser(
+        "critical-path",
+        help="causal span graph, wall-time attribution and critical path",
+    )
+    cpp.add_argument("trace", help="path to the JSONL trace file")
+    cpp.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro-obs-critical-path/1 JSON to PATH",
+    )
+
+    dif = sub.add_parser("diff", help="diff two traces (deltas are B - A)")
+    dif.add_argument("trace_a", help="baseline trace (A)")
+    dif.add_argument("trace_b", help="comparison trace (B)")
+    dif.add_argument(
+        "--bins", type=int, default=DEFAULT_DIFF_BINS,
+        help=f"iteration buckets in the divergence table (default {DEFAULT_DIFF_BINS})",
+    )
+    dif.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-obs-diff/1 JSON envelope instead of text",
+    )
+    dif.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the diff to PATH instead of stdout",
+    )
+
+    dash = sub.add_parser(
+        "dashboard", help="render a single-file HTML run dashboard"
+    )
+    dash.add_argument("trace", help="path to the JSONL trace file")
+    dash.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="optional metrics-snapshot JSON (adds context to the header)",
+    )
+    dash.add_argument(
+        "--title", default=None, help="page title (default: trace filename)"
+    )
+    dash.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output HTML path (default: trace path with .html suffix)",
+    )
+
+    val = sub.add_parser(
+        "validate", help="check a trace file against the event schema"
+    )
+    val.add_argument("trace", help="path to the JSONL trace file")
+    val.add_argument(
+        "--strict", action="store_true",
+        help="treat unknown event kinds as errors, not warnings",
+    )
+
     args = parser.parse_args(argv)
 
     try:
-        events = list(read_jsonl(args.trace))
-    except OSError as exc:
-        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
-        return 2
-    metrics = None
-    if args.metrics:
-        try:
-            with open(args.metrics, "r", encoding="utf-8") as fh:
-                metrics = json.load(fh)
-        except OSError as exc:
-            print(
-                f"error: cannot read metrics {args.metrics!r}: {exc}",
-                file=sys.stderr,
+        if args.command == "report":
+            events = _read_events(args.trace)
+            metrics = _read_metrics(args.metrics)
+            if args.json:
+                text = json.dumps(
+                    report_dict(events, metrics=metrics, bins=args.bins),
+                    indent=2, sort_keys=True,
+                )
+            else:
+                text = render_report(events, metrics=metrics, bins=args.bins)
+            _write_out(text, args.out, "report")
+            return 0
+
+        if args.command == "critical-path":
+            events = _read_events(args.trace)
+            text = json.dumps(
+                critical_path_report(events), indent=2, sort_keys=True
             )
-            return 2
-    text = render_report(events, metrics=metrics, bins=args.bins)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(text)
-            fh.write("\n")
-        print(f"report -> {args.out}")
-    else:
-        print(text)
-    return 0
+            _write_out(text, args.out, "critical path")
+            return 0
+
+        if args.command == "diff":
+            d = diff_traces(
+                _read_events(args.trace_a),
+                _read_events(args.trace_b),
+                bins=args.bins,
+                label_a=args.trace_a,
+                label_b=args.trace_b,
+            )
+            text = json.dumps(d, indent=2, sort_keys=True) if args.json else render_diff(d)
+            _write_out(text, args.out, "diff")
+            return 0
+
+        if args.command == "dashboard":
+            events = _read_events(args.trace)
+            metrics = _read_metrics(args.metrics)
+            html = render_dashboard(
+                events, metrics=metrics, title=args.title or args.trace
+            )
+            out = args.out or (args.trace.removesuffix(".jsonl") + ".html")
+            with open(out, "w", encoding="utf-8") as fh:
+                fh.write(html)
+            print(f"dashboard -> {out}")
+            return 0
+
+        if args.command == "validate":
+            verdict = validate_trace(args.trace, strict=args.strict)
+            for msg in verdict["warnings"]:
+                print(f"warning: {msg}", file=sys.stderr)
+            for msg in verdict["errors"]:
+                print(f"error: {msg}", file=sys.stderr)
+            status = "OK" if verdict["ok"] else "INVALID"
+            print(
+                f"{args.trace}: {status} — {verdict['events']} events, "
+                f"{verdict['error_count']} errors, "
+                f"{verdict['warning_count']} warnings"
+            )
+            return 0 if verdict["ok"] else 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - unreachable (subparser is required)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,453 @@
+"""Causal span graphs and critical-path attribution over flat traces.
+
+The trace bus (:mod:`repro.obs.bus`) emits *flat* JSONL events; this
+module lifts them into a **causal span graph** and walks it to explain a
+run's completion time — the analysis layer the paper's claims need
+(blocking vs staleness vs rollback, §5) in the style of Lubachevsky &
+Weiss's rollback-cost accounting.
+
+Three stages, all pure functions of the event list:
+
+1. :func:`build_spans` — stitch events into :class:`Span` intervals:
+   ``node.compute`` compute spans, ``gr.block``/``gr.unblock`` wait
+   spans, ``rb.begin``/``rb.end`` rollback spans (with cascade parent
+   links via correction versions), plus the ``dsm.write →
+   net.deliver → gr.unblock`` message lineage joined on the
+   content-addressed ``ref`` (``"locn@iter"``) the DSM stamps on
+   updates.  Truncated or dropped traces degrade to *partial* spans —
+   the builder never raises on missing halves.
+2. :func:`attribute` — per-node wall-time attribution: a priority sweep
+   (gr-wait > rollback > compute) over each node's active window;
+   whatever remains inside the window is **network** time (PVM
+   send/recv overheads and message handling carry no events of their
+   own, and an application process that is neither computing, blocked
+   in ``Global_Read`` nor rolling back is communicating).  Note the
+   current cost model charges rollback *redo* CPU inside the
+   correction-application drain, so rollback spans are zero-width in
+   simulated time: the rollback bucket reports cascade counts and
+   depths, while redo CPU lands in the network/messaging remainder.
+3. :func:`critical_path` — walk backward from run completion: a wait
+   span whose lineage resolves jumps to the producing write on the
+   writer node (the wait *decomposes* into upstream compute + network
+   transit); unresolved waits stay attributed as ``gr-blocking``.
+
+:func:`critical_path_report` bundles all three into the
+``repro-obs-critical-path/1`` JSON artifact behind
+``python -m repro.obs critical-path``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.bus import ObsEvent
+
+#: schema tag of the :func:`critical_path_report` artifact
+CRITICAL_PATH_SCHEMA = "repro-obs-critical-path/1"
+
+#: attribution bucket names, in display order
+BUCKETS = ("compute", "gr_blocking", "network", "rollback")
+
+_EPS = 1e-12
+
+
+@dataclass
+class Span:
+    """One causal interval on one node.
+
+    ``kind`` is ``"compute"``, ``"gr-wait"`` or ``"rollback"``;
+    ``detail`` carries kind-specific fields (``op``/``locn``/``ref``/
+    ``writer``/``cause``/``depth``…).  ``partial`` marks spans
+    reconstructed from one half of a begin/end pair (truncated traces).
+    ``parent`` is the index (into :attr:`SpanGraph.spans`) of the causal
+    parent span, where one could be resolved.
+    """
+
+    kind: str
+    node: int
+    t0: float
+    t1: float
+    detail: dict = field(default_factory=dict)
+    partial: bool = False
+    parent: int | None = None
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (>= 0)."""
+        return max(0.0, self.t1 - self.t0)
+
+
+@dataclass
+class SpanGraph:
+    """The stitched causal graph of one trace.
+
+    ``writes`` maps a lineage ref (``"locn@iter"``) to its producing
+    ``(node, time)``; ``deliveries`` maps ``(ref, dst)`` to the last
+    frame-delivery time.  ``partial`` is True when any begin/end pair
+    was missing its other half (bounded-buffer truncation).
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    writes: dict[str, tuple[int, float]] = field(default_factory=dict)
+    deliveries: dict[tuple[str, int], float] = field(default_factory=dict)
+    node_window: dict[int, tuple[float, float]] = field(default_factory=dict)
+    t_end: float = 0.0
+    events: int = 0
+    unresolved_waits: int = 0
+    partial: bool = False
+    gr_ages: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> list[int]:
+        """All nodes with any activity, sorted."""
+        return sorted(self.node_window)
+
+    def spans_of(self, node: int, kind: str | None = None) -> list[Span]:
+        """Spans on ``node`` (optionally one kind), sorted by start time."""
+        out = [
+            s for s in self.spans
+            if s.node == node and (kind is None or s.kind == kind)
+        ]
+        out.sort(key=lambda s: (s.t0, s.t1))
+        return out
+
+
+def build_spans(events: Iterable[ObsEvent]) -> SpanGraph:
+    """Lift a flat event stream into a :class:`SpanGraph`.
+
+    Tolerant of truncated traces by construction: an ``gr.unblock``
+    without its ``gr.block`` rebuilds the wait from its ``waited``
+    stamp; a ``gr.block``/``rb.begin`` whose end was dropped becomes a
+    partial span reaching the end of the trace.  Never raises on
+    incomplete pairs.
+    """
+    g = SpanGraph()
+    open_waits: dict[tuple[int, str], list[float]] = {}
+    open_rollbacks: dict[tuple[int, int, int], list[tuple[float, dict]]] = {}
+    # (writer_node, version-carrying rollback span idx) resolution table:
+    # rb.end on the writer that *sent* corrections, by node, in time order
+    corr_sources: dict[int, list[tuple[float, int]]] = {}
+
+    for e in events:
+        g.events += 1
+        t = e.time
+        if t > g.t_end:
+            g.t_end = t
+        node = e.node
+        if node >= 0:
+            w = g.node_window.get(node)
+            g.node_window[node] = (
+                (t, t) if w is None else (min(w[0], t), max(w[1], t))
+            )
+        f = e.fields
+        kind = e.kind
+
+        if kind == "node.compute":
+            cost = float(f.get("cost", 0.0))
+            detail = {"op": f["op"]} if "op" in f else {}
+            g.spans.append(Span("compute", node, t, t + cost, detail))
+            if t + cost > g.t_end:
+                g.t_end = t + cost
+        elif kind == "dsm.write":
+            ref = f"{f.get('locn')}@{f.get('iter')}"
+            g.writes.setdefault(ref, (node, t))
+        elif kind == "net.deliver":
+            ref = f.get("ref")
+            if ref is not None:
+                key = (ref, node)
+                prev = g.deliveries.get(key)
+                if prev is None or t > prev:
+                    g.deliveries[key] = t
+        elif kind == "gr.block":
+            open_waits.setdefault((node, str(f.get("locn"))), []).append(t)
+        elif kind == "gr.unblock":
+            locn = str(f.get("locn"))
+            stack = open_waits.get((node, locn))
+            waited = float(f.get("waited", 0.0))
+            if stack:
+                t0 = stack.pop()
+            else:
+                # block event dropped: the unblock's own stamp suffices
+                t0 = t - waited
+            detail = {"locn": locn}
+            for k in ("ref", "writer", "curr_iter", "age", "staleness"):
+                if k in f:
+                    detail[k] = f[k]
+            g.spans.append(Span("gr-wait", node, t0, t, detail,
+                                partial="ref" not in f))
+            if "ref" not in f:
+                g.unresolved_waits += 1
+            if "age" in f:
+                a = int(f["age"])
+                g.gr_ages[a] = g.gr_ages.get(a, 0.0) + waited
+        elif kind == "gr.hit" and "age" in f:
+            g.gr_ages.setdefault(int(f["age"]), 0.0)
+        elif kind == "rb.begin":
+            key = (node, int(f.get("input", -1)), int(f.get("iter", -1)))
+            detail = {
+                k: f[k] for k in ("input", "iter", "depth", "cause",
+                                  "writer", "version") if k in f
+            }
+            open_rollbacks.setdefault(key, []).append((t, detail))
+        elif kind == "rb.end":
+            key = (node, int(f.get("input", -1)), int(f.get("iter", -1)))
+            stack = open_rollbacks.get(key)
+            if stack:
+                t0, detail = stack.pop()
+            else:
+                t0, detail = t, {"input": f.get("input"), "iter": f.get("iter")}
+            detail = dict(detail)
+            detail["corrections"] = f.get("corrections", 0)
+            g.spans.append(Span("rollback", node, t0, t, detail,
+                                partial=not stack and t0 == t and "cause" not in detail))
+            idx = len(g.spans) - 1
+            if int(f.get("corrections", 0)) > 0:
+                corr_sources.setdefault(node, []).append((t, idx))
+
+    # dangling halves → partial spans to the end of the trace
+    for (node, locn), stack in open_waits.items():
+        for t0 in stack:
+            g.spans.append(
+                Span("gr-wait", node, t0, g.t_end, {"locn": locn}, partial=True)
+            )
+            g.unresolved_waits += 1
+            g.partial = True
+    for (node, _u, _t), stack in open_rollbacks.items():
+        for t0, detail in stack:
+            g.spans.append(Span("rollback", node, t0, t0, detail, partial=True))
+            g.partial = True
+
+    _link_rollback_parents(g, corr_sources)
+    return g
+
+
+def _link_rollback_parents(
+    g: SpanGraph, corr_sources: dict[int, list[tuple[float, int]]]
+) -> None:
+    """Attach cascade parents: a correction-caused rollback's parent is
+    the latest correction-*emitting* rollback on the writer that had
+    already finished.  Best-effort — unresolved parents stay ``None``."""
+    for sources in corr_sources.values():
+        sources.sort()
+    for i, s in enumerate(g.spans):
+        if s.kind != "rollback" or s.detail.get("cause") != "correction":
+            continue
+        writer = s.detail.get("writer", -1)
+        sources = corr_sources.get(writer)
+        if not sources:
+            continue
+        times = [t for t, _ in sources]
+        j = bisect_left(times, s.t0 + _EPS) - 1
+        if j >= 0:
+            s.parent = sources[j][1]
+
+
+_PRIORITY = {"gr-wait": 3, "rollback": 2, "compute": 1}
+_PRI_BUCKET = {3: "gr_blocking", 2: "rollback", 1: "compute"}
+
+
+def node_segments(
+    window: tuple[float, float], spans: list[Span]
+) -> list[tuple[float, float, str]]:
+    """Partition one node's window into bucket-labelled segments.
+
+    A priority sweep (gr-wait > rollback > compute) resolves overlaps
+    (a node nominally cannot be blocked and computing at once, but
+    partial spans from truncated traces may overlap); uncovered window
+    time is the network/messaging remainder.  Returns contiguous
+    ``(t0, t1, bucket)`` tiles covering exactly ``[w0, w1]``.
+    """
+    w0, w1 = window
+    if w1 <= w0:
+        return []
+    marks: list[tuple[float, int, int]] = []
+    for s in spans:
+        pri = _PRIORITY.get(s.kind)
+        if pri is None:
+            continue
+        a, b = max(s.t0, w0), min(s.t1, w1)
+        if b > a:
+            marks.append((a, 1, pri))
+            marks.append((b, -1, pri))
+    marks.sort()
+    counts = [0, 0, 0, 0]
+    segments: list[tuple[float, float, str]] = []
+
+    def push(t0: float, t1: float) -> None:
+        active = max((p for p in (1, 2, 3) if counts[p] > 0), default=0)
+        bucket = _PRI_BUCKET.get(active, "network")
+        if segments and segments[-1][2] == bucket and segments[-1][1] == t0:
+            segments[-1] = (segments[-1][0], t1, bucket)
+        else:
+            segments.append((t0, t1, bucket))
+
+    prev = w0
+    i = 0
+    n = len(marks)
+    while i < n:
+        t = marks[i][0]
+        if t > prev:
+            push(prev, t)
+            prev = t
+        while i < n and marks[i][0] == t:
+            counts[marks[i][2]] += marks[i][1]
+            i += 1
+    if w1 > prev:
+        push(prev, w1)
+    return segments
+
+
+def _sweep(window: tuple[float, float], spans: list[Span]) -> dict[str, float]:
+    """Seconds per bucket over one node's window (see :func:`node_segments`)."""
+    out = {b: 0.0 for b in BUCKETS}
+    for t0, t1, bucket in node_segments(window, spans):
+        out[bucket] += t1 - t0
+    return out
+
+
+def attribute(g: SpanGraph) -> dict[str, Any]:
+    """Per-node and total wall-time attribution for one trace.
+
+    Returns ``per_node`` buckets ({compute, gr_blocking, network,
+    rollback, idle}), bucket ``totals``, the minimum per-node
+    ``attributed_fraction`` (the acceptance metric: the four buckets
+    over the run's completion time) and blocking seconds per observed
+    ``age`` setting.
+    """
+    per_node: dict[int, dict[str, float]] = {}
+    t_end = g.t_end
+    for node in g.nodes:
+        window = g.node_window[node]
+        spans = [s for s in g.spans if s.node == node]
+        buckets = _sweep(window, spans)
+        idle = max(0.0, window[0]) + max(0.0, t_end - window[1])
+        covered = sum(buckets.values())
+        frac = (covered / t_end) if t_end > 0 else 1.0
+        per_node[node] = {
+            **buckets,
+            "idle": idle,
+            "window": [window[0], window[1]],
+            "attributed_fraction": frac,
+        }
+    totals = {b: sum(pn[b] for pn in per_node.values()) for b in BUCKETS}
+    totals["idle"] = sum(pn["idle"] for pn in per_node.values())
+    fracs = [pn["attributed_fraction"] for pn in per_node.values()]
+    return {
+        "per_node": per_node,
+        "totals": totals,
+        "min_attributed_fraction": min(fracs) if fracs else 1.0,
+        "blocking_by_age": {str(a): g.gr_ages[a] for a in sorted(g.gr_ages)},
+    }
+
+
+def critical_path(g: SpanGraph, max_segments: int = 100_000) -> dict[str, Any]:
+    """Walk the span graph backward from run completion.
+
+    From the node that finishes last, walk time backward: a covering
+    compute/rollback span contributes its own kind; a covering wait
+    span with resolved lineage *jumps* to the producing write on the
+    writer node, contributing the ``[write, unblock]`` interval as
+    network time (transit + residual wait); unresolved waits contribute
+    ``gr-blocking``; uncovered gaps are network/messaging overhead.
+    Segments are returned in chronological order and tile ``[0,
+    t_end]`` exactly, so ``coverage`` is 1.0 unless the walk was capped.
+    """
+    t_end = g.t_end
+    empty = {
+        "segments": [], "by_kind": {}, "by_node": {},
+        "coverage": 0.0, "t_end": t_end, "start_node": None,
+    }
+    if t_end <= 0 or not g.node_window:
+        return empty
+
+    # per-node walkable spans, sorted by start; zero-width spans are
+    # never "covering" and only matter for attribution, so drop them
+    walk: dict[int, list[Span]] = {}
+    starts: dict[int, list[float]] = {}
+    for node in g.nodes:
+        spans = [
+            s for s in g.spans
+            if s.node == node and s.duration > _EPS
+            and s.kind in ("compute", "gr-wait", "rollback")
+        ]
+        spans.sort(key=lambda s: (s.t0, s.t1))
+        walk[node] = spans
+        starts[node] = [s.t0 for s in spans]
+
+    node = max(
+        g.node_window,
+        key=lambda n: max([g.node_window[n][1]] + [s.t1 for s in walk[n]]),
+    )
+    start_node = node
+    t = t_end
+    segments: list[dict[str, Any]] = []
+
+    def emit(node: int, kind: str, t0: float, t1: float, **detail: Any) -> None:
+        if t1 - t0 > _EPS:
+            segments.append(
+                {"node": node, "kind": kind, "t0": t0, "t1": t1,
+                 "dur": t1 - t0, **detail}
+            )
+
+    while t > _EPS and len(segments) < max_segments:
+        spans = walk.get(node, [])
+        i = bisect_left(starts.get(node, []), t) - 1
+        s = spans[i] if i >= 0 else None
+        if s is None:
+            emit(node, "network", 0.0, t)
+            break
+        if s.t1 < t - _EPS:
+            # gap between spans: communication / messaging overhead
+            emit(node, "network", s.t1, t)
+            t = s.t1
+            continue
+        if s.kind in ("compute", "rollback"):
+            emit(node, s.kind, s.t0, t, **{
+                k: s.detail[k] for k in ("op", "cause", "depth") if k in s.detail
+            })
+            t = s.t0
+            continue
+        # gr-wait: try to jump along the resolved lineage
+        ref = s.detail.get("ref")
+        src = g.writes.get(ref) if ref is not None else None
+        if src is not None and src[0] != node and src[1] < t - _EPS:
+            w_node, w_t = src
+            emit(node, "network", w_t, t, ref=ref, src=w_node,
+                 locn=s.detail.get("locn"))
+            node, t = w_node, w_t
+        else:
+            emit(node, "gr-blocking", s.t0, t, locn=s.detail.get("locn"),
+                 unresolved=True)
+            t = s.t0
+
+    segments.reverse()
+    by_kind: dict[str, float] = {}
+    by_node: dict[str, float] = {}
+    for seg in segments:
+        by_kind[seg["kind"]] = by_kind.get(seg["kind"], 0.0) + seg["dur"]
+        by_node[str(seg["node"])] = by_node.get(str(seg["node"]), 0.0) + seg["dur"]
+    return {
+        "segments": segments,
+        "by_kind": by_kind,
+        "by_node": by_node,
+        "coverage": (sum(by_kind.values()) / t_end) if t_end > 0 else 0.0,
+        "t_end": t_end,
+        "start_node": start_node,
+    }
+
+
+def critical_path_report(events: Iterable[ObsEvent]) -> dict[str, Any]:
+    """The full ``repro-obs-critical-path/1`` artifact for one trace."""
+    g = build_spans(events)
+    return {
+        "schema": CRITICAL_PATH_SCHEMA,
+        "t_end": g.t_end,
+        "events": g.events,
+        "spans": len(g.spans),
+        "partial": g.partial,
+        "unresolved_waits": g.unresolved_waits,
+        "attribution": attribute(g),
+        "critical_path": critical_path(g),
+    }

@@ -202,6 +202,7 @@ def machine_metrics(machine, dsm=None, rollback=None) -> dict:
         reg.gauge("warp.max", machine.warp.max_warp)
         if machine.warp.keep_samples:
             reg.observe_many("warp", machine.warp.samples)
+            reg.count("warp.samples_dropped", machine.warp.samples_dropped)
             for (dst, src), samples in sorted(machine.warp.stream_samples.items()):
                 reg.observe_many(f"warp.stream.{dst}<-{src}", samples)
 

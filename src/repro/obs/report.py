@@ -19,6 +19,12 @@ The report answers the questions the paper's evaluation asks of a run:
 
 Everything renders deterministically (sorted keys, fixed float formats):
 the report of a fixed-seed run is golden-testable.
+
+Each section is computed by a pure ``*_summary`` helper returning plain
+dicts; the text renderers format those, and :func:`report_dict` bundles
+them into the machine-readable ``repro-obs-report/1`` envelope behind
+``python -m repro.obs report --json`` (what CI and the trace differ
+consume instead of scraping text).
 """
 
 from __future__ import annotations
@@ -27,6 +33,9 @@ from collections import Counter
 
 from repro.obs.bus import ObsEvent
 from repro.obs.metrics import percentile_from_samples
+
+#: schema tag of the :func:`report_dict` JSON envelope
+REPORT_SCHEMA = "repro-obs-report/1"
 
 #: timeline strip width (bins) by default
 DEFAULT_BINS = 60
@@ -91,27 +100,19 @@ def _overlaps(intervals: list[tuple[float, float]], lo: float, hi: float) -> boo
     return any(s < hi and e > lo for s, e in intervals)
 
 
-def render_timeline(events: list[ObsEvent], bins: int = DEFAULT_BINS) -> str:
-    """The per-node ASCII timeline section."""
+def timeline_strips(events: list[ObsEvent], bins: int = DEFAULT_BINS) -> dict[int, str]:
+    """Per-node timeline glyph strips (``#``/``X``/``.``), by node."""
     if not events:
-        return "Per-node timeline: (no events)"
+        return {}
     t_end = max(e.time for e in events)
     if t_end <= 0:
-        return "Per-node timeline: (zero-length run)"
+        return {}
     blocked, compute = _intervals(events)
-    nodes = sorted(set(blocked) | set(compute))
-    if not nodes:
-        return "Per-node timeline: (no node activity events)"
-    width = bins
-    step = t_end / width
-    lines = [
-        f"Per-node timeline  [0 .. {t_end:.4g}s, {width} bins; "
-        f"{GLYPH_COMPUTE}=compute {GLYPH_BLOCKED}=blocked(Global_Read) "
-        f"{GLYPH_IDLE}=idle/comm]"
-    ]
-    for node in nodes:
+    step = t_end / bins
+    strips: dict[int, str] = {}
+    for node in sorted(set(blocked) | set(compute)):
         strip = []
-        for b in range(width):
+        for b in range(bins):
             lo, hi = b * step, (b + 1) * step
             if _overlaps(blocked.get(node, []), lo, hi):
                 strip.append(GLYPH_BLOCKED)
@@ -119,12 +120,32 @@ def render_timeline(events: list[ObsEvent], bins: int = DEFAULT_BINS) -> str:
                 strip.append(GLYPH_COMPUTE)
             else:
                 strip.append(GLYPH_IDLE)
-        lines.append(f"  node {node:>3} |{''.join(strip)}|")
+        strips[node] = "".join(strip)
+    return strips
+
+
+def render_timeline(events: list[ObsEvent], bins: int = DEFAULT_BINS) -> str:
+    """The per-node ASCII timeline section."""
+    if not events:
+        return "Per-node timeline: (no events)"
+    t_end = max(e.time for e in events)
+    if t_end <= 0:
+        return "Per-node timeline: (zero-length run)"
+    strips = timeline_strips(events, bins=bins)
+    if not strips:
+        return "Per-node timeline: (no node activity events)"
+    lines = [
+        f"Per-node timeline  [0 .. {t_end:.4g}s, {bins} bins; "
+        f"{GLYPH_COMPUTE}=compute {GLYPH_BLOCKED}=blocked(Global_Read) "
+        f"{GLYPH_IDLE}=idle/comm]"
+    ]
+    for node, strip in strips.items():
+        lines.append(f"  node {node:>3} |{strip}|")
     return "\n".join(lines)
 
 
-def render_blocking(events: list[ObsEvent]) -> str:
-    """The Global_Read blocking summary section."""
+def blocking_summary(events: list[ObsEvent]) -> dict[int, dict[str, float]]:
+    """Per-node Global_Read counters: calls/hits/blocks/waited/max_wait."""
     per_node: dict[int, dict[str, float]] = {}
     for e in events:
         if not e.kind.startswith("gr."):
@@ -142,6 +163,12 @@ def render_blocking(events: list[ObsEvent]) -> str:
             waited = float(e.fields.get("waited", 0.0))
             row["waited"] += waited
             row["max_wait"] = max(row["max_wait"], waited)
+    return per_node
+
+
+def render_blocking(events: list[ObsEvent]) -> str:
+    """The Global_Read blocking summary section."""
+    per_node = blocking_summary(events)
     if not per_node:
         return "Blocking summary: no Global_Read events in trace"
     rows = []
@@ -167,41 +194,71 @@ def render_blocking(events: list[ObsEvent]) -> str:
     )
 
 
-def render_rollback(events: list[ObsEvent]) -> str:
-    """The Time-Warp rollback summary section."""
+def rollback_summary(events: list[ObsEvent]) -> dict | None:
+    """Rollback counts, cascade-depth stats and causes, or None."""
     rollbacks = [e for e in events if e.kind == "rb.begin"]
     ends = [e for e in events if e.kind == "rb.end"]
     if not rollbacks:
-        return "Rollback summary: no rollback events in trace"
+        return None
     depth_counts: dict[int, int] = {}
     per_node: dict[int, int] = {}
+    causes: dict[str, int] = {}
     for e in rollbacks:
         d = int(e.fields.get("depth", 0))
         depth_counts[d] = depth_counts.get(d, 0) + 1
         per_node[e.node] = per_node.get(e.node, 0) + 1
-    corrections = sum(int(e.fields.get("corrections", 0)) for e in ends)
-    depths = sorted(
-        d for d, n in depth_counts.items() for _ in range(n)
-    )
+        cause = str(e.fields.get("cause", "unknown"))
+        causes[cause] = causes.get(cause, 0) + 1
+    depths = sorted(d for d, n in depth_counts.items() for _ in range(n))
+    return {
+        "rollbacks": len(rollbacks),
+        "corrections": sum(int(e.fields.get("corrections", 0)) for e in ends),
+        "depth_mean": sum(depths) / len(depths),
+        "depth_p50": percentile_from_samples(depths, 50),
+        "depth_p90": percentile_from_samples(depths, 90),
+        "depth_max": max(depths),
+        "depth_hist": {str(d): depth_counts[d] for d in sorted(depth_counts)},
+        "per_node": {str(n): per_node[n] for n in sorted(per_node)},
+        "causes": {c: causes[c] for c in sorted(causes)},
+    }
+
+
+def render_rollback(events: list[ObsEvent]) -> str:
+    """The Time-Warp rollback summary section."""
+    s = rollback_summary(events)
+    if s is None:
+        return "Rollback summary: no rollback events in trace"
     lines = [
         "Rollback summary (Time-Warp)",
-        f"  rollbacks: {len(rollbacks)}   corrections emitted: {corrections}",
-        f"  cascade depth: mean {sum(depths) / len(depths):.2f}  "
-        f"p50 {percentile_from_samples(depths, 50):.0f}  "
-        f"p90 {percentile_from_samples(depths, 90):.0f}  "
-        f"max {max(depths)}",
+        f"  rollbacks: {s['rollbacks']}   corrections emitted: {s['corrections']}",
+        f"  cascade depth: mean {s['depth_mean']:.2f}  "
+        f"p50 {s['depth_p50']:.0f}  "
+        f"p90 {s['depth_p90']:.0f}  "
+        f"max {s['depth_max']}",
         "  depth histogram: "
-        + "  ".join(f"{d}:{depth_counts[d]}" for d in sorted(depth_counts)),
+        + "  ".join(f"{d}:{n}" for d, n in s["depth_hist"].items()),
         "  per node: "
-        + "  ".join(f"node{n}:{per_node[n]}" for n in sorted(per_node)),
+        + "  ".join(f"node{n}:{c}" for n, c in s["per_node"].items()),
     ]
+    if set(s["causes"]) - {"unknown"}:
+        lines.append(
+            "  causes: " + "  ".join(f"{c}:{n}" for c, n in s["causes"].items())
+        )
     return "\n".join(lines)
 
 
-def render_warp(events: list[ObsEvent]) -> str:
-    """The per-stream warp table, recomputed from delivery events."""
+def warp_streams(
+    events: list[ObsEvent],
+) -> dict[tuple[int, int], list[tuple[float, float]]]:
+    """Per-(receiver, sender) warp samples recomputed from the trace.
+
+    Returns ``(dst, src) -> [(deliver_time, warp), …]`` — exactly the
+    live :class:`repro.network.warp.WarpMeter` quantity (arrival-gap /
+    send-gap of consecutive ``pvm`` deliveries), with the delivery time
+    kept so warp-over-time can be plotted.
+    """
     last: dict[tuple[int, int], tuple[float, float]] = {}
-    streams: dict[tuple[int, int], list[float]] = {}
+    streams: dict[tuple[int, int], list[tuple[float, float]]] = {}
     for e in events:
         if e.kind != "net.deliver" or e.fields.get("frame_kind") != "pvm":
             continue
@@ -214,7 +271,13 @@ def render_warp(events: list[ObsEvent]) -> str:
         send_gap = enq - prev[0]
         if send_gap <= 0:
             continue
-        streams.setdefault(key, []).append((e.time - prev[1]) / send_gap)
+        streams.setdefault(key, []).append((e.time, (e.time - prev[1]) / send_gap))
+    return streams
+
+
+def render_warp(events: list[ObsEvent]) -> str:
+    """The per-stream warp table, recomputed from delivery events."""
+    streams = {k: [w for _, w in v] for k, v in warp_streams(events).items()}
     if not streams:
         return "Warp table: no pvm delivery events in trace"
     rows = []
@@ -241,27 +304,43 @@ def render_warp(events: list[ObsEvent]) -> str:
     )
 
 
-def render_commits(events: list[ObsEvent]) -> str:
-    """GVT / commit progression (Bayes runs only)."""
+def commit_summary(events: list[ObsEvent]) -> dict | None:
+    """GVT/commit progression counters (Bayes runs), or None."""
     commits = [e for e in events if e.kind == "bn.commit"]
     advances = [e for e in events if e.kind == "gvt.advance"]
     if not commits and not advances:
+        return None
+    return {
+        "batches": len(commits),
+        "runs_committed": sum(int(e.fields.get("runs", 0)) for e in commits),
+        "final_floor": int(advances[-1].fields.get("floor", 0)) if advances else 0,
+    }
+
+
+def render_commits(events: list[ObsEvent]) -> str:
+    """GVT / commit progression (Bayes runs only)."""
+    s = commit_summary(events)
+    if s is None:
         return ""
-    total = sum(int(e.fields.get("runs", 0)) for e in commits)
-    final_floor = int(advances[-1].fields.get("floor", 0)) if advances else 0
     return (
         "GVT / commits\n"
-        f"  commit batches: {len(commits)}   runs committed: {total}   "
-        f"final GVT floor: {final_floor}"
+        f"  commit batches: {s['batches']}   runs committed: "
+        f"{s['runs_committed']}   final GVT floor: {s['final_floor']}"
     )
 
 
-def render_faults(events: list[ObsEvent]) -> str:
-    """Injected-fault counts (chaos runs only)."""
+def fault_counts(events: list[ObsEvent]) -> dict[str, int]:
+    """Injected-fault event counts by kind (empty when fault-free)."""
     counts: dict[str, int] = {}
     for e in events:
         if e.kind.startswith("fault."):
             counts[e.kind] = counts.get(e.kind, 0) + 1
+    return counts
+
+
+def render_faults(events: list[ObsEvent]) -> str:
+    """Injected-fault counts (chaos runs only)."""
+    counts = fault_counts(events)
     if not counts:
         return ""
     return "Injected faults\n  " + "  ".join(
@@ -312,3 +391,72 @@ def render_report(
     if metrics is not None:
         sections.append(render_metrics(metrics))
     return "\n\n".join(s for s in sections if s)
+
+
+def _warp_stats(samples: list[float]) -> dict[str, float]:
+    return {
+        "samples": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile_from_samples(samples, 50),
+        "p90": percentile_from_samples(samples, 90),
+        "p99": percentile_from_samples(samples, 99),
+        "max": max(samples),
+    }
+
+
+def report_dict(
+    events: list[ObsEvent],
+    metrics: dict | None = None,
+    bins: int = DEFAULT_BINS,
+) -> dict:
+    """The report as a machine-readable dict (``repro-obs-report/1``).
+
+    Same sections as :func:`render_report`, as plain JSON-serializable
+    data: this is what ``python -m repro.obs report --json`` emits and
+    what CI consumes instead of scraping the text rendering.  Keys of
+    per-node maps are stringified node ids (JSON objects).
+    """
+    events = sorted(events, key=lambda e: e.time)
+    t_end = events[-1].time if events else 0.0
+    blocking = blocking_summary(events)
+    streams = warp_streams(events)
+    warp: dict[str, dict[str, float]] = {}
+    all_samples: list[float] = []
+    for (dst, src) in sorted(streams):
+        samples = [w for _, w in streams[(dst, src)]]
+        all_samples.extend(samples)
+        warp[f"{dst}<-{src}"] = _warp_stats(samples)
+    out: dict = {
+        "schema": REPORT_SCHEMA,
+        "events": len(events),
+        "t_end": t_end,
+        "kinds": dict(sorted(Counter(e.kind for e in events).items())),
+        "timeline": {
+            "bins": bins,
+            "glyphs": {
+                "compute": GLYPH_COMPUTE,
+                "blocked": GLYPH_BLOCKED,
+                "idle": GLYPH_IDLE,
+            },
+            "per_node": {
+                str(n): strip
+                for n, strip in timeline_strips(events, bins=bins).items()
+            },
+        },
+        "blocking": {
+            "per_node": {str(n): blocking[n] for n in sorted(blocking)},
+            "totals": {
+                "calls": sum(int(r["calls"]) for r in blocking.values()),
+                "hits": sum(int(r["hits"]) for r in blocking.values()),
+                "blocks": sum(int(r["blocks"]) for r in blocking.values()),
+                "waited": sum(r["waited"] for r in blocking.values()),
+            },
+        },
+        "rollback": rollback_summary(events),
+        "warp": {"streams": warp, "all": _warp_stats(all_samples) if all_samples else None},
+        "commits": commit_summary(events),
+        "faults": fault_counts(events),
+    }
+    if metrics is not None:
+        out["metrics"] = metrics
+    return out

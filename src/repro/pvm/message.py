@@ -114,6 +114,13 @@ class Message:
     ``payload`` is either a :class:`PackBuffer` or any Python object (for
     internal layers that skip explicit packing but still declare
     ``nbytes``).
+
+    ``trace_ref`` is an optional content-addressed causal-lineage tag
+    (e.g. ``"iface.2@15"``) set by tracing-aware senders; it is copied
+    onto every :class:`~repro.network.frame.Frame` the message fragments
+    into and surfaces in ``net.deliver`` trace events.  It must never be
+    derived from ``msg_id`` (a process-global counter), or identical-seed
+    runs in one process would emit different traces.
     """
 
     src: int
@@ -124,6 +131,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     send_time: float = -1.0
     arrival_time: float = -1.0
+    trace_ref: str | None = None
 
     def matches(self, src: int, tag: int) -> bool:
         """Wildcard-aware match used by recv/probe."""

@@ -86,21 +86,33 @@ class Task:
     # Sending
     # ------------------------------------------------------------------
     def send(
-        self, dst: int, tag: int, payload: Any, nbytes: int | None = None
+        self,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int | None = None,
+        trace_ref: str | None = None,
     ) -> Generator:
         """Send ``payload`` to task ``dst`` under ``tag`` (blocking-submit).
 
         ``nbytes`` defaults to ``payload.nbytes`` (PackBuffer) and must be
         given for raw payloads.  Returns after the send overhead has been
-        charged; delivery is asynchronous, as in PVM.
+        charged; delivery is asynchronous, as in PVM.  ``trace_ref``
+        optionally tags the message (and every frame it fragments into)
+        with a content-addressed causal-lineage id for the trace bus.
         """
         nbytes = self._resolve_nbytes(payload, nbytes)
         yield Compute(self.vm.overheads.send_cost(nbytes))
-        self._submit(dst, tag, payload, nbytes)
+        self._submit(dst, tag, payload, nbytes, trace_ref=trace_ref)
         yield from self._backpressure()
 
     def mcast(
-        self, dsts: Iterable[int], tag: int, payload: Any, nbytes: int | None = None
+        self,
+        dsts: Iterable[int],
+        tag: int,
+        payload: Any,
+        nbytes: int | None = None,
+        trace_ref: str | None = None,
     ) -> Generator:
         """Multicast: pack once, unicast to each destination (PVM semantics).
 
@@ -115,7 +127,7 @@ class Task:
         )
         yield Compute(cost)
         for dst in dsts:
-            self._submit(dst, tag, payload, nbytes)
+            self._submit(dst, tag, payload, nbytes, trace_ref=trace_ref)
         yield from self._backpressure()
 
     def _backpressure(self) -> Generator:
@@ -142,12 +154,19 @@ class Task:
             raise ValueError("nbytes is required for non-PackBuffer payloads")
         return nbytes
 
-    def _submit(self, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+    def _submit(
+        self,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        trace_ref: str | None = None,
+    ) -> None:
         if dst not in self.vm.tasks:
             raise KeyError(f"send to unknown task {dst}")
         msg = Message(
             src=self.tid, dst=dst, tag=tag, payload=payload, nbytes=nbytes,
-            send_time=self.vm.kernel.now,
+            send_time=self.vm.kernel.now, trace_ref=trace_ref,
         )
         self.messages_sent += 1
         self.bytes_sent += nbytes
@@ -305,6 +324,7 @@ class VirtualMachine:
                 size_bytes=size,
                 payload=(msg.msg_id, idx, n_frags, msg),
                 kind="pvm",
+                trace_ref=msg.trace_ref,
             )
             adapter.send(frame)
 

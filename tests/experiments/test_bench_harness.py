@@ -51,3 +51,14 @@ def test_bench_kernel_reports_consistent_rate():
     out = bench_kernel(n_workers=4, n_steps=24, repeat=1)
     assert out["kernel_events"] > 0
     assert out["kernel_events_per_sec"] == out["kernel_events"] / out["kernel_wall_s"]
+
+
+def test_bench_obs_reports_overhead_and_span_rate():
+    from repro.bench.micro import bench_obs
+
+    out = bench_obs(repeat=1)
+    assert out["obs_trace_events"] > 0
+    assert out["obs_overhead_ratio"] > 0
+    assert out["obs_span_build_events_per_sec"] == (
+        out["obs_trace_events"] / out["obs_span_build_wall_s"]
+    )

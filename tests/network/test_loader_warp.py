@@ -138,3 +138,27 @@ def test_warp_per_stream_keys():
     kernel.schedule(0.0, inject, 0)
     kernel.run()
     assert set(meter.stream_means()) == {(1, 0), (1, 2)}
+
+
+def test_warp_sample_retention_is_bounded():
+    """Per-stream raw samples cap out; streaming stats never do."""
+    kernel = Kernel(seed=6)
+    net = EthernetNetwork(kernel)
+    net.attach(0, lambda f: None)
+    net.attach(1, lambda f: None)
+    meter = WarpMeter(keep_samples=True, max_stream_samples=8).attach(net)
+    _paced_sender(kernel, net, gap=0.01, n=30)
+    kernel.run()
+    # 29 samples observed on the one stream, 8 kept, the rest counted
+    assert meter.overall.count == 29
+    assert len(meter.stream_samples[(1, 0)]) == 8
+    assert len(meter.samples) == 8
+    assert meter.samples_dropped == 21
+    # the mean folds every sample in, capped retention or not
+    assert meter.mean_warp == pytest.approx(1.0, abs=0.01)
+
+
+def test_warp_default_cap_is_roomy():
+    meter = WarpMeter(keep_samples=True)
+    assert meter.max_stream_samples == 65_536
+    assert meter.samples_dropped == 0

@@ -92,3 +92,19 @@ def test_identical_seeds_emit_identical_event_sequences():
     kinds = set(runs[0].bus.kind_counts())
     assert {"proc.spawn", "node.compute", "net.deliver", "dsm.write",
             "gr.hit", "proc.done"} <= kinds
+
+
+def test_tiny_buffer_trailer_accounting(tmp_path):
+    """The trailer reports kept vs dropped exactly for a tiny buffer."""
+    bus = TraceBus(clock=_clock_factory(), max_events=4)
+    for i in range(11):
+        bus.emit("e", node=i)
+    path = tmp_path / "tiny.jsonl"
+    bus.write_jsonl(path)
+    lines = path.read_text().splitlines()
+    meta = json.loads(lines[-1])
+    assert meta["events"] == 4 == len(lines) - 1
+    assert meta["events_dropped"] == 7
+    # the kept causal prefix round-trips intact
+    back = list(read_jsonl(path))
+    assert [e.node for e in back] == [0, 1, 2, 3]

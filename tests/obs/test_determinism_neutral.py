@@ -52,3 +52,20 @@ def test_untraced_digests_still_match_golden():
     """All three goldens hold with the obs hooks merely *present*."""
     results = check_digests()
     assert all(r["ok"] for r in results.values()), results
+
+
+def test_span_building_leaves_trace_untouched():
+    """Building the causal graph is read-only: digests are unmoved."""
+    from repro.obs.causal import attribute, build_spans, critical_path
+    from repro.obs.integration import traced_ga_run
+
+    run = traced_ga_run(n_demes=2, seed=3, n_generations=25)
+    before = run.bus.digest()
+    g = build_spans(run.bus.events)
+    attribute(g)
+    critical_path(g)
+    assert run.bus.digest() == before
+    # and the lineage hooks are pure functions of the seed too: a
+    # second identical run, analysed or not, lands on the same digest
+    again = traced_ga_run(n_demes=2, seed=3, n_generations=25)
+    assert again.bus.digest() == before
