@@ -17,13 +17,28 @@ Three layers (see DESIGN.md §7):
     *unbounded race* — turning the paper's §2.1 delta-consistency
     argument into an executable check.
 
+``repro.analysis.coherence``
+    Static whole-program coherence analyzer: an interprocedural AST
+    pass discovers every DSM access site, classifies each shared
+    location's race tolerance on the
+    :data:`~repro.core.contract.TOLERANCE_CLASSES` lattice, checks
+    declared ``dsm_contract(...)`` staleness contracts, and
+    cross-validates static verdicts against the runtime classifier's
+    evidence and run traces (rule block ``RPR1xx``).
+
 ``repro.analysis.cli``
-    ``python -m repro.analysis {lint,races,report}`` with CI-friendly
-    exit codes, plus the ``sanitize_dsm`` pytest fixture
+    ``python -m repro.analysis {lint,races,report,coherence}`` with
+    CI-friendly exit codes, plus the ``sanitize_dsm`` pytest fixture
     (:mod:`repro.analysis.fixtures`) that auto-attaches the classifier
     when ``REPRO_SANITIZE=1``.
 """
 
+from repro.analysis.coherence import (
+    CoherenceFinding,
+    CoherenceReport,
+    LocationVerdict,
+    run_coherence,
+)
 from repro.analysis.lint import (
     DEFAULT_EXCLUDES,
     Finding,
@@ -40,8 +55,12 @@ from repro.analysis.races import (
 from repro.analysis.report import classify_island_run, race_table
 
 __all__ = [
+    "CoherenceFinding",
+    "CoherenceReport",
     "DEFAULT_EXCLUDES",
     "Finding",
+    "LocationVerdict",
+    "run_coherence",
     "lint_paths",
     "lint_source",
     "RaceClass",

@@ -16,12 +16,21 @@ Subcommands and exit codes (CI-friendly throughout):
     exits 1 unless the paper's expected shape holds (sync race-free,
     async shows unbounded races, `Global_Read` shows only tolerated
     races within its bound).
+
+``coherence [paths...] [--json] [--traces DIR] [--races FILE]
+[--baseline FILE] [--write-baseline FILE]``
+    Static whole-program DSM coherence analysis: discovers every
+    access site, classifies each location's race tolerance, checks
+    declared ``dsm_contract`` staleness contracts, and (with
+    ``--traces``/``--races``) cross-validates against dynamic
+    evidence.  0 = clean, 1 = non-baselined findings, 2 = the
+    analyzer could not do its job.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 from typing import Sequence
 
@@ -32,6 +41,14 @@ from repro.analysis.report import (
     classify_three_modes,
     race_table,
 )
+from repro.analysis.coherence.driver import (
+    DEFAULT_BASELINE as DEFAULT_COHERENCE_BASELINE,
+)
+from repro.util.envelope import make_envelope, render_envelope, write_envelope
+
+#: schema tags of the two run-classification ``--json`` documents
+RACES_SCHEMA = "repro-analysis-races/1"
+REPORT_SCHEMA = "repro-analysis-report/1"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,6 +95,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="classify all three coherence modes and check the shape"
     )
     add_run_args(report)
+
+    coh = sub.add_parser(
+        "coherence",
+        help="static DSM access classification and contract checking",
+    )
+    coh.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    coh.add_argument("--json", action="store_true", help="machine-readable output")
+    coh.add_argument(
+        "--traces",
+        action="append",
+        default=None,
+        help="trace JSONL file or directory for static-dynamic "
+        "cross-validation (repeatable)",
+    )
+    coh.add_argument(
+        "--races",
+        action="append",
+        default=None,
+        help="a 'races --json' document for cross-validation (repeatable)",
+    )
+    coh.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline file "
+        f"(default: {DEFAULT_COHERENCE_BASELINE} when it exists)",
+    )
+    coh.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the default baseline file",
+    )
+    coh.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings' fingerprints as a baseline "
+        "and exit 0",
+    )
+    coh.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON envelope to FILE",
+    )
     return parser
 
 
@@ -127,7 +193,7 @@ def _cmd_races(args: argparse.Namespace) -> int:
     )
     c = run.classifier
     if args.json:
-        print(json.dumps(run.to_dict(), indent=2))
+        print(render_envelope(make_envelope(RACES_SCHEMA, run.to_dict())))
     else:
         print(f"{run.mode_label}: {c.report()}")
     if args.fail_on == "none":
@@ -168,12 +234,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if run.classifier.total_violations:
             problems.append(f"{run.mode_label}: consistency violations")
     if args.json:
-        print(
-            json.dumps(
-                {"runs": [r.to_dict() for r in runs], "problems": problems},
-                indent=2,
-            )
+        env = make_envelope(
+            REPORT_SCHEMA,
+            {"runs": [r.to_dict() for r in runs], "problems": problems},
         )
+        print(render_envelope(env))
     else:
         print(race_table(runs))
         for p in problems:
@@ -186,6 +251,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_coherence(args: argparse.Namespace) -> int:
+    from repro.analysis.coherence import (
+        baseline_doc,
+        render_json,
+        render_text,
+        run_coherence,
+    )
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline:
+        if os.path.exists(DEFAULT_COHERENCE_BASELINE):
+            baseline = DEFAULT_COHERENCE_BASELINE
+
+    if args.write_baseline:
+        # record what fires *without* any suppression applied, so the
+        # written file reflects the full current finding set
+        report = run_coherence(args.paths, traces=args.traces, races=args.races)
+        if report.errors:
+            for err in report.errors:
+                print(f"error: {err}")
+            return 2
+        path = write_envelope(args.write_baseline, baseline_doc(report.findings))
+        print(
+            f"baseline: {len({f.fingerprint for f in report.findings})} "
+            f"suppression(s) -> {path}"
+        )
+        return 0
+
+    report = run_coherence(
+        args.paths,
+        traces=args.traces,
+        races=args.races,
+        baseline_path=baseline,
+    )
+    if args.out:
+        write_envelope(args.out, report.to_envelope())
+    print(render_json(report) if args.json else render_text(report))
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.analysis`` entry point; the exit status is the finding
     count."""
@@ -194,6 +299,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "races":
         return _cmd_races(args)
+    if args.command == "coherence":
+        return _cmd_coherence(args)
     return _cmd_report(args)
 
 

@@ -20,6 +20,7 @@ default behaviour (and its timing-sensitive assertions) is unchanged.
 from __future__ import annotations
 
 import os
+from typing import Any, Iterator
 
 import pytest
 
@@ -35,7 +36,7 @@ def sanitizer_enabled() -> bool:
 
 
 @pytest.fixture(autouse=True)
-def sanitize_dsm():
+def sanitize_dsm() -> Iterator[list[RaceClassifier]]:
     """Auto-attach the race classifier to every Dsm when sanitizing.
 
     Yields the list of attached classifiers (empty when the sanitizer
@@ -47,7 +48,7 @@ def sanitize_dsm():
     attached: list[RaceClassifier] = []
     original_init = Dsm.__init__
 
-    def instrumented_init(self, *args, **kwargs):
+    def instrumented_init(self: Dsm, *args: Any, **kwargs: Any) -> None:
         original_init(self, *args, **kwargs)
         attached.append(attach_race_classifier(self))
 

@@ -68,7 +68,7 @@ class Finding:
             f"{self.message} (fix: {self.fixit})"
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-friendly dict form of the finding."""
         return asdict(self)
 
@@ -124,7 +124,10 @@ def lint_source(
         if select is not None and rule_cls.code not in select:
             continue
         rule = rule_cls(path)
-        rule.visit(tree)
+        # check() pre-collects imports over the whole tree first, so an
+        # alias imported *after* its use site still resolves (late
+        # module-level imports are legal at runtime)
+        rule.check(tree)
         findings.extend(
             f for f in rule.findings if f.code not in allowed.get(f.line, ())
         )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.consistency import ConsistencyChecker
 
@@ -141,7 +142,10 @@ class RaceClassifier(ConsistencyChecker):
     """
 
     def __init__(
-        self, max_pairs: int = 10_000, tracer=None, max_violations: int = 1000
+        self,
+        max_pairs: int = 10_000,
+        tracer: Any | None = None,
+        max_violations: int = 1000,
     ) -> None:
         super().__init__(max_violations=max_violations)
         self.max_pairs = max_pairs
@@ -186,7 +190,7 @@ class RaceClassifier(ConsistencyChecker):
         self._msg_clocks[(src, msg_id)] = vc.copy()
         self.sends_observed += 1
 
-    def on_recv(self, tid: int, msg, time: float) -> None:
+    def on_recv(self, tid: int, msg: Any, time: float) -> None:
         """Record a message receive: join the sender's stashed clock into the
         receiver's."""
         vc = self._clock(tid)
@@ -197,7 +201,7 @@ class RaceClassifier(ConsistencyChecker):
         self.recvs_observed += 1
 
     # -- repro.faults observer hook ------------------------------------
-    def on_fault(self, kind: str, frame, time: float) -> None:
+    def on_fault(self, kind: str, frame: Any, time: float) -> None:
         """One injected fault (MessageFaultInjector.observer).
 
         Faults carry no happens-before information — a dropped message
@@ -328,7 +332,41 @@ class RaceClassifier(ConsistencyChecker):
         ]
         return max(racy, default=0)
 
-    def summary(self) -> dict:
+    def per_location(self) -> dict[str, dict[str, int]]:
+        """Per-location breakdown, keyed by location name.
+
+        Each row counts synchronized/tolerated/unbounded pairs and the
+        total reads touching that location, with the worst staleness
+        seen among the stored pair sample.  This is the dynamic half of
+        the static↔dynamic cross-check
+        (:mod:`repro.analysis.coherence.crossval` consumes it via the
+        ``locations`` key of :meth:`summary`).
+        """
+        rows: dict[str, dict[str, int]] = {}
+
+        def row(locn: str) -> dict[str, int]:
+            r = rows.get(locn)
+            if r is None:
+                r = rows[locn] = {
+                    "synchronized": 0,
+                    "tolerated": 0,
+                    "unbounded": 0,
+                    "reads": 0,
+                    "max_staleness": 0,
+                }
+            return r
+
+        for (locn, _, _, cls), n in self.pair_counts.items():
+            r = row(locn)
+            r[cls.value] += n
+            r["reads"] += n
+        for p in self.pairs:
+            r = row(p.locn)
+            if p.classification is not RaceClass.SYNCHRONIZED:
+                r["max_staleness"] = max(r["max_staleness"], p.staleness)
+        return dict(sorted(rows.items()))
+
+    def summary(self) -> dict[str, Any]:
         """Per-class counts plus the worst observed staleness, as a dict."""
         return {
             "reads_checked": self.reads_checked,
@@ -342,6 +380,7 @@ class RaceClassifier(ConsistencyChecker):
             "max_observed_staleness": self.max_observed_staleness(),
             "consistency_violations": self.total_violations,
             "faults_injected": dict(sorted(self.fault_counts.items())),
+            "locations": self.per_location(),
         }
 
     def report(self, max_lines: int = 20) -> str:
@@ -361,7 +400,9 @@ class RaceClassifier(ConsistencyChecker):
         return "\n".join(lines)
 
 
-def attach_race_classifier(dsm, tracer=None, max_pairs: int = 10_000) -> RaceClassifier:
+def attach_race_classifier(
+    dsm: Any, tracer: Any | None = None, max_pairs: int = 10_000
+) -> RaceClassifier:
     """Wire a fresh classifier into ``dsm`` and its VM; returns it.
 
     The classifier replaces ``dsm.checker`` (it *is* a

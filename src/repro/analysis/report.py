@@ -12,6 +12,7 @@ premise rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.analysis.races import RaceClassifier, attach_race_classifier
 from repro.core.coherence import CoherenceMode
@@ -42,7 +43,7 @@ class ClassifiedRun:
             return f"Global_Read(age={self.age})"
         return self.mode.value
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-friendly dict form of the classified run."""
         return {
             "mode": self.mode.value,
@@ -72,7 +73,7 @@ def classify_island_run(
     )
     holder: list[RaceClassifier] = []
 
-    def instrument(dsm) -> None:
+    def instrument(dsm: Any) -> None:
         holder.append(attach_race_classifier(dsm))
 
     result = run_island_ga(cfg, instrument=instrument)

@@ -107,21 +107,47 @@ class Rule(ast.NodeVisitor):
         self._from_imports: dict[str, str] = {}
 
     # -- import tracking (shared by all rules) --------------------------
-    def visit_Import(self, node: ast.Import) -> None:
-        """Track plain ``import`` statements for module-alias resolution."""
+    def _record_import(self, node: ast.Import) -> None:
         for alias in node.names:
             self._module_aliases[alias.asname or alias.name.split(".")[0]] = (
                 alias.name if alias.asname else alias.name.split(".")[0]
             )
-        self.generic_visit(node)
 
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        """Track ``from ... import`` statements for name-origin resolution."""
+    def _record_import_from(self, node: ast.ImportFrom) -> None:
         if node.module and node.level == 0:
             for alias in node.names:
                 self._from_imports[alias.asname or alias.name] = (
                     f"{node.module}.{alias.name}"
                 )
+
+    def collect_imports(self, tree: ast.AST) -> None:
+        """Pre-pass: record every import in ``tree`` before rule traversal.
+
+        Aliases must be known *before* the rule visits any call site: a
+        module-level ``import random as r`` placed below a function that
+        calls ``r.random()`` is perfectly legal at runtime (the function
+        body executes after the import), but a single in-order traversal
+        would resolve nothing at the call and silently miss the finding.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                self._record_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                self._record_import_from(node)
+
+    def check(self, tree: ast.AST) -> None:
+        """Run the rule: import pre-pass, then the visitor traversal."""
+        self.collect_imports(tree)
+        self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Track plain ``import`` statements for module-alias resolution."""
+        self._record_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Track ``from ... import`` statements for name-origin resolution."""
+        self._record_import_from(node)
         self.generic_visit(node)
 
     def resolve(self, node: ast.expr) -> str | None:

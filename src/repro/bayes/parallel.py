@@ -47,6 +47,7 @@ from repro.bayes.network import BayesianNetwork
 from repro.bayes.rollback import GvtOracle, ProcessorState, RollbackStats
 from repro.cluster.machine import Machine, MachineConfig
 from repro.core.coherence import CoherenceMode
+from repro.core.contract import dsm_contract
 from repro.core.dsm import Dsm
 from repro.core.global_read import GlobalReadStats
 from repro.core.location import SharedLocationSpec
@@ -60,6 +61,29 @@ from repro.sim import Compute
 #: aged locations because they revisit *older* iterations, which the
 #: monotone-age write rule (correctly) forbids for shared locations.
 CORRECTION_TAG = 77
+
+#: staleness contracts for the interface-value locations (checked by the
+#: static coherence analyzer, repro.analysis.coherence).  Optimistic
+#: interface batches are gambles that rollback corrections repair, so a
+#: missed update is a performance event, never a correctness one —
+#: unbounded staleness is tolerable and Global_Read's age only throttles
+#: how far a processor may stray.  The synchronous staged exchange is
+#: the opposite claim: barrier-separated write/read phases with strict
+#: age-0 reads.
+dsm_contract(
+    "iface.*",
+    writers=1,
+    age=None,
+    tolerance="commutative",
+    reason="rollback corrections repair any missed interface update",
+)
+dsm_contract(
+    "ifr.*",
+    writers=1,
+    age=0,
+    tolerance="phase_concurrent",
+    reason="synchronous staged exchange: barrier-separated phases, strict reads",
+)
 
 
 @dataclass(frozen=True)

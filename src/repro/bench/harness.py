@@ -45,6 +45,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.util.envelope import make_envelope, write_envelope
+
 SCHEMA_VERSION = "repro-bench/1"
 
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
@@ -92,23 +94,23 @@ def make_payload(
     determinism: dict | None = None,
 ) -> dict:
     """Assemble the bench-result JSON payload (schema ``repro-bench/1``)."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "scale": scale,
-        "jobs": jobs,
-        "unix_time": time.time(),  # repro-lint: allow[RPR002] — provenance stamp
-        "env": env_info(),
-        "micro": micro or {},
-        "experiments": experiments or {},
-        "determinism": determinism or {},
-    }
+    return make_envelope(
+        SCHEMA_VERSION,
+        {
+            "scale": scale,
+            "jobs": jobs,
+            "unix_time": time.time(),  # repro-lint: allow[RPR002] — provenance stamp
+            "env": env_info(),
+            "micro": micro or {},
+            "experiments": experiments or {},
+            "determinism": determinism or {},
+        },
+    )
 
 
 def write_bench(path: Path | str, payload: dict) -> Path:
     """Write one trajectory point; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_envelope(path, payload)
 
 
 def load_trajectory(root: Path | str = ".") -> list[tuple[int, dict]]:

@@ -34,6 +34,12 @@ from repro.core.global_read import (
 from repro.core.coherence import CoherenceMode, UpdatePolicy
 from repro.core.dsm import Dsm, DsmNode
 from repro.core.consistency import ConsistencyChecker, Violation
+from repro.core.contract import (
+    CONTRACTS,
+    StalenessContract,
+    contract_for,
+    dsm_contract,
+)
 
 __all__ = [
     "SharedLocationSpec",
@@ -48,4 +54,8 @@ __all__ = [
     "DsmNode",
     "ConsistencyChecker",
     "Violation",
+    "CONTRACTS",
+    "StalenessContract",
+    "contract_for",
+    "dsm_contract",
 ]

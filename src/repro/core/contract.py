@@ -1,0 +1,179 @@
+"""Declared staleness contracts for shared DSM locations.
+
+The paper's premise is that some data races are *tolerable*; a
+:class:`StalenessContract` is the application's written-down claim of
+exactly how much race tolerance a family of shared locations has.  The
+claim has three axes:
+
+``writers``
+    Maximum number of distinct producing tasks a single location may
+    have.  Everything in this repository is single-writer (the DSM
+    enforces it at :meth:`repro.core.dsm.Dsm.register` time); the axis
+    exists so multi-writer protocols (ROADMAP item 3) can declare
+    themselves honestly.
+``age``
+    The largest staleness bound (in producer iterations) any reader is
+    allowed to request, or ``None`` when *unbounded* staleness is
+    algorithmically tolerable (e.g. GA migrant incorporation, where
+    selection makes arbitrarily-stale immigrants harmless).  ``age=0``
+    declares strict, phase-separated access.
+``tolerance``
+    The declared race-tolerance class, one of
+    :data:`TOLERANCE_CLASSES` — the same lattice the static analyzer
+    (:mod:`repro.analysis.coherence`) infers from source, so declared
+    and inferred classes are directly comparable.
+
+Contracts are declared once, at module import time, next to the code
+that registers the locations::
+
+    from repro.core.contract import dsm_contract
+
+    dsm_contract(
+        "migrants.*", writers=1, age=None, tolerance="commutative",
+        reason="selection-based incorporation is order/staleness-insensitive",
+    )
+
+They are consumed in two places: the static coherence analyzer reads
+them *from the AST* (so the checked contract is what the source says,
+not what happens to be imported), and the runtime registry lets tools
+and experiments look contracts up by concrete location name
+(:func:`contract_for`).  Declaring a contract has **no effect on the
+DSM hot path** — no per-read or per-write check is added; the
+determinism digests are byte-identical with or without declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+#: the race-tolerance lattice, ordered from least to most race exposure;
+#: index order is what "weaker/stronger class" means everywhere
+TOLERANCE_CLASSES: tuple[str, ...] = (
+    "read_only",
+    "single_writer",
+    "phase_concurrent",
+    "commutative",
+    "unbounded",
+)
+
+
+def tolerance_rank(name: str) -> int:
+    """Lattice index of a tolerance class (raises on unknown names)."""
+    try:
+        return TOLERANCE_CLASSES.index(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown tolerance class {name!r} "
+            f"(known: {', '.join(TOLERANCE_CLASSES)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class StalenessContract:
+    """One declared contract over a family of shared locations.
+
+    ``pattern`` is an ``fnmatch``-style glob over location names
+    (``"migrants.*"``).  See the module docstring for the semantics of
+    the other fields.
+    """
+
+    pattern: str
+    writers: int = 1
+    age: int | None = None
+    tolerance: str = "commutative"
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("contract needs a non-empty location pattern")
+        if self.writers < 1:
+            raise ValueError(f"{self.pattern}: writers must be >= 1")
+        if self.age is not None and self.age < 0:
+            raise ValueError(
+                f"{self.pattern}: age is a staleness tolerance and must be "
+                f">= 0 (or None for unbounded), got {self.age}"
+            )
+        tolerance_rank(self.tolerance)  # validates the class name
+
+    def matches(self, locn: str) -> bool:
+        """True when this contract covers location ``locn``."""
+        return fnmatchcase(locn, self.pattern)
+
+
+class ContractRegistry:
+    """Process-wide registry of declared contracts, keyed by pattern.
+
+    Lookup returns the *most specific* matching contract (longest
+    pattern wins; ties broken by declaration order).  Re-declaring an
+    identical contract is a no-op so test re-imports stay harmless;
+    re-declaring a pattern with *different* terms raises — two modules
+    disagreeing about a location's tolerance is a bug worth failing on.
+    """
+
+    def __init__(self) -> None:
+        self._contracts: dict[str, StalenessContract] = {}
+
+    def declare(self, contract: StalenessContract) -> StalenessContract:
+        """Register ``contract``; idempotent for identical re-declarations."""
+        existing = self._contracts.get(contract.pattern)
+        if existing is not None:
+            if existing == contract:
+                return existing
+            raise ValueError(
+                f"conflicting contract for {contract.pattern!r}: "
+                f"{existing} vs {contract}"
+            )
+        self._contracts[contract.pattern] = contract
+        return contract
+
+    def lookup(self, locn: str) -> StalenessContract | None:
+        """Most specific contract covering ``locn``, or None."""
+        best: StalenessContract | None = None
+        for contract in self._contracts.values():
+            if contract.matches(locn) and (
+                best is None or len(contract.pattern) > len(best.pattern)
+            ):
+                best = contract
+        return best
+
+    def all(self) -> list[StalenessContract]:
+        """Every declared contract, in declaration order."""
+        return list(self._contracts.values())
+
+    def clear(self) -> None:
+        """Forget every declaration (test isolation only)."""
+        self._contracts.clear()
+
+
+#: the process-wide registry the decorator-style declarations feed
+CONTRACTS = ContractRegistry()
+
+
+def dsm_contract(
+    pattern: str,
+    *,
+    writers: int = 1,
+    age: int | None = None,
+    tolerance: str = "commutative",
+    reason: str = "",
+) -> StalenessContract:
+    """Declare a staleness contract for locations matching ``pattern``.
+
+    The lightweight annotation form used at module level next to the
+    code registering the locations; returns the registered contract.
+    """
+    return CONTRACTS.declare(
+        StalenessContract(
+            pattern=pattern,
+            writers=writers,
+            age=age,
+            tolerance=tolerance,
+            reason=reason,
+        )
+    )
+
+
+def contract_for(locn: str) -> StalenessContract | None:
+    """The most specific declared contract covering ``locn`` (or None)."""
+    return CONTRACTS.lookup(locn)

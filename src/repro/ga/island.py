@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.cluster.machine import Machine, MachineConfig
 from repro.core.coherence import CoherenceMode, UpdatePolicy
+from repro.core.contract import dsm_contract
 from repro.core.dsm import Dsm
 from repro.core.global_read import GlobalReadStats
 from repro.core.location import SharedLocationSpec
@@ -44,6 +45,21 @@ from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
 from repro.ga.population import Population
 from repro.obs.metrics import machine_metrics
 from repro.sim import CompletionCounter, Compute
+
+#: staleness contract for the migrant-exchange locations.  Incorporation
+#: is pure selection (pool immigrants, stable argsort, replace_worst):
+#: order- and staleness-insensitive, so arbitrarily stale copies are
+#: algorithmically tolerable — the asynchronous mode reads them with no
+#: bound by design, and Global_Read's age only trades convergence speed
+#: for blocking.  The static coherence analyzer checks this claim
+#: against the source (see repro.analysis.coherence).
+dsm_contract(
+    "migrants.*",
+    writers=1,
+    age=None,
+    tolerance="commutative",
+    reason="selection-based migrant incorporation is order/staleness-insensitive",
+)
 
 
 @dataclass(frozen=True)

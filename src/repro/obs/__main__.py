@@ -36,6 +36,7 @@ from repro.obs.dashboard import render_dashboard
 from repro.obs.diff import DEFAULT_DIFF_BINS, diff_traces, render_diff
 from repro.obs.report import DEFAULT_BINS, render_report, report_dict
 from repro.obs.schema import validate_trace
+from repro.util.envelope import render_envelope
 
 
 def _read_events(path: str) -> list:
@@ -145,9 +146,8 @@ def main(argv: list[str] | None = None) -> int:
             events = _read_events(args.trace)
             metrics = _read_metrics(args.metrics)
             if args.json:
-                text = json.dumps(
-                    report_dict(events, metrics=metrics, bins=args.bins),
-                    indent=2, sort_keys=True,
+                text = render_envelope(
+                    report_dict(events, metrics=metrics, bins=args.bins)
                 )
             else:
                 text = render_report(events, metrics=metrics, bins=args.bins)

@@ -33,6 +33,7 @@ from collections import Counter
 
 from repro.obs.bus import ObsEvent
 from repro.obs.metrics import percentile_from_samples
+from repro.util.envelope import make_envelope
 
 #: schema tag of the :func:`report_dict` JSON envelope
 REPORT_SCHEMA = "repro-obs-report/1"
@@ -426,8 +427,7 @@ def report_dict(
         samples = [w for _, w in streams[(dst, src)]]
         all_samples.extend(samples)
         warp[f"{dst}<-{src}"] = _warp_stats(samples)
-    out: dict = {
-        "schema": REPORT_SCHEMA,
+    payload: dict = {
         "events": len(events),
         "t_end": t_end,
         "kinds": dict(sorted(Counter(e.kind for e in events).items())),
@@ -458,5 +458,5 @@ def report_dict(
         "faults": fault_counts(events),
     }
     if metrics is not None:
-        out["metrics"] = metrics
-    return out
+        payload["metrics"] = metrics
+    return make_envelope(REPORT_SCHEMA, payload)

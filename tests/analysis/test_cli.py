@@ -136,3 +136,101 @@ class TestSanitizerFixture:
         assert dsm.vm.observer is attached[0]
         with pytest.raises(StopIteration):
             gen.send(None)
+
+
+class TestCoherenceCommand:
+    """``coherence`` subcommand: happy path and hard error paths."""
+
+    SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+    def test_src_tree_is_clean(self, capsys):
+        rc = main(["coherence", self.SRC, "--no-baseline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migrants.*" in out and "0 finding(s)" in out
+
+    def test_json_envelope(self, capsys):
+        rc = main(["coherence", self.SRC, "--no-baseline", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-analysis-coherence/1"
+        assert doc["summary"]["findings"] == 0
+        assert doc["summary"]["locations"] >= 3
+        assert doc["digest"]
+
+    def test_out_writes_envelope_file(self, tmp_path, capsys):
+        out = tmp_path / "coherence.json"
+        rc = main(["coherence", self.SRC, "--no-baseline", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-analysis-coherence/1"
+
+    def test_missing_trace_dir_exits_two(self, capsys):
+        rc = main(
+            ["coherence", self.SRC, "--no-baseline", "--traces", "no/such/dir"]
+        )
+        assert rc == 2
+        assert "no such trace file or directory" in capsys.readouterr().out
+
+    def test_malformed_trace_jsonl_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t": 1, "kind": "gr.hit"}\nnot json at all\n')
+        rc = main(["coherence", self.SRC, "--no-baseline", "--traces", str(bad)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_empty_trace_dir_exits_two(self, tmp_path, capsys):
+        rc = main(
+            ["coherence", self.SRC, "--no-baseline", "--traces", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "no .jsonl trace files" in capsys.readouterr().out
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text("{not json")
+        rc = main(["coherence", self.SRC, "--baseline", str(base)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_unparsable_source_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        rc = main(["coherence", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_baseline_roundtrip(self, tmp_path, capsys):
+        mod = tmp_path / "w.py"
+        mod.write_text(
+            "def proc(node, task, dsm):\n"
+            "    dnode = dsm.node(0)\n"
+            "    dnode.write('x', 1, 0, 8)\n"
+            "    return dnode.read_local('x')\n"
+        )
+        assert main(["coherence", str(mod)]) == 1
+        assert "RPR101" in capsys.readouterr().out
+        base = tmp_path / "base.json"
+        assert main(["coherence", str(mod), "--write-baseline", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["coherence", str(mod), "--baseline", str(base)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
+
+    def test_races_json_feeds_crossval(self, tmp_path, capsys):
+        # a fabricated races doc claiming unbounded races on migrants.*
+        doc = {
+            "schema": "repro-analysis-races/1",
+            "locations": {
+                "migrants.0": {
+                    "synchronized": 0, "tolerated": 0, "unbounded": 4,
+                    "reads": 4, "max_staleness": 40,
+                },
+            },
+        }
+        races = tmp_path / "races.json"
+        races.write_text(json.dumps(doc))
+        rc = main(
+            ["coherence", self.SRC, "--no-baseline", "--races", str(races)]
+        )
+        assert rc == 1
+        assert "RPR105" in capsys.readouterr().out

@@ -310,3 +310,44 @@ class TestAllowPragma:
     def test_pragma_accepts_a_code_list(self):
         src = "import time\nt = time.time()  # repro-lint: allow[RPR001, RPR002]\n"
         assert lint_source(src) == []
+
+
+class TestLateImportAliases:
+    """Imports placed after a use site must still feed alias resolution.
+
+    A module-level ``import random as r`` below a function that calls
+    ``r.random()`` is legal at runtime (the body executes after the
+    import), so a single in-order traversal that only learns aliases as
+    it passes them silently misses the finding.  ``Rule.check`` runs an
+    import pre-pass over the whole tree first.
+    """
+
+    @pytest.mark.parametrize(
+        ("src", "code"),
+        [
+            ("def f():\n    return r.random()\nimport random as r\n", "RPR001"),
+            (
+                "def f():\n    return now()\nfrom time import time as now\n",
+                "RPR002",
+            ),
+            (
+                "def f():\n    return npr.normal()\n"
+                "from numpy import random as npr\n",
+                "RPR001",
+            ),
+            (
+                "def f():\n    return tm.perf_counter()\nimport time as tm\n",
+                "RPR002",
+            ),
+        ],
+    )
+    def test_flags_use_above_late_import(self, src, code):
+        assert code in codes(src)
+
+    def test_late_seeded_constructor_still_allowed(self):
+        src = "def f():\n    return np.random.default_rng(1)\nimport numpy as np\n"
+        assert codes(src) == set()
+
+    def test_unimported_name_still_clean(self):
+        # no import anywhere: `r` is just a local object, not the RNG
+        assert codes("def f(r):\n    return r.random()\n") == set()
