@@ -1,0 +1,105 @@
+"""Parallel-kernel microbenchmark (the ``kernel_parallel.*`` BENCH keys).
+
+Two measurements of :mod:`repro.sim.parallel`, reported flat into the
+BENCH envelope's ``micro`` block:
+
+``kernel_parallel.identical_2shard``
+    The GOLDEN ``ga_result`` recipe run at ``shards=2`` still produces
+    the GOLDEN digest.  Checked on *every* host — sharded correctness is
+    timeshared-testable even on one core — so a single-core CI box still
+    gates bit-identity, just not speed.
+
+``kernel_parallel.speedup_2shard``
+    Serial wall-clock over 2-shard wall-clock for a compute-heavy
+    scenario (large populations, several demes — the regime the
+    bounded-lag kernel exists for).  ``None`` with a recorded
+    ``kernel_parallel.skipped`` reason on single-core hosts, where a
+    wall-clock speedup is physically unmeasurable: two workers
+    timesharing one core measure scheduler overhead, not the kernel.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.determinism import GOLDEN
+from repro.bench.harness import timed
+from repro.cluster.machine import MachineConfig
+from repro.cluster.node import NodeSpec
+from repro.core.coherence import CoherenceMode
+
+
+def _golden_cfg():
+    from repro.experiments.config import Scale
+    from repro.experiments.speedup import machine_for
+    from repro.ga.functions import get_function
+    from repro.ga.island import IslandGaConfig
+
+    return IslandGaConfig(
+        fn=get_function(1),
+        n_demes=2,
+        mode=CoherenceMode.NON_STRICT,
+        age=10,
+        n_generations=40,
+        seed=7,
+        machine=machine_for(Scale.smoke(), 2, 7),
+    )
+
+
+def _heavy_cfg(n_demes: int = 4, population: int = 384, generations: int = 30):
+    """A compute-dominated run: big populations make the numpy work (the
+    part sharding partitions) outweigh the replicated event stream."""
+    from repro.ga.functions import get_function
+    from repro.ga.island import IslandGaConfig
+    from repro.ga.operators import GaParams
+
+    return IslandGaConfig(
+        fn=get_function(1),
+        n_demes=n_demes,
+        mode=CoherenceMode.NON_STRICT,
+        age=10,
+        n_generations=generations,
+        seed=13,
+        params=GaParams(population_size=population),
+        machine=MachineConfig(
+            n_nodes=n_demes, seed=13, node_spec=NodeSpec(), measure_warp=True
+        ),
+    )
+
+
+def bench_parallel(shards: int = 2) -> dict:
+    """Run the parallel-kernel micro; returns flat ``kernel_parallel.*`` keys."""
+    from repro.ga.island import run_island_ga
+    from repro.ga.sharded import ga_digest
+
+    cpu_count = os.cpu_count() or 1
+    out: dict = {"kernel_parallel.cpu_count": cpu_count}
+
+    sharded = run_island_ga(_golden_cfg(), shards=shards)
+    info = sharded.metrics.get("parallel", {})
+    out["kernel_parallel.sharded"] = bool(info.get("sharded"))
+    out[f"kernel_parallel.identical_{shards}shard"] = bool(
+        ga_digest(sharded) == GOLDEN["ga_result"]
+    )
+    if info.get("fallback"):
+        out["kernel_parallel.fallback"] = info["fallback"]
+
+    if cpu_count < 2:
+        out[f"kernel_parallel.speedup_{shards}shard"] = None
+        out["kernel_parallel.skipped"] = (
+            "single-core host: wall-clock speedup not measurable"
+        )
+        return out
+
+    cfg = _heavy_cfg()
+    serial_result, serial_s = timed(run_island_ga, cfg)
+    shard_result, shard_s = timed(run_island_ga, cfg, shards=shards)
+    out["kernel_parallel.serial_wall_s"] = serial_s
+    out[f"kernel_parallel.shard{shards}_wall_s"] = shard_s
+    out[f"kernel_parallel.speedup_{shards}shard"] = (
+        serial_s / shard_s if shard_s > 0 else None
+    )
+    out["kernel_parallel.heavy_identical"] = bool(
+        ga_digest(shard_result) == ga_digest(serial_result)
+    )
+    return out

@@ -10,6 +10,7 @@ in the ``determinism`` block as ``figure2_parallel_identical``).
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.bench.harness import timed
@@ -42,14 +43,28 @@ def run_suite(scale: Scale, jobs: int = 1) -> tuple[dict, dict]:
 
     experiments: dict = {}
 
+    cpu_count = os.cpu_count() or 1
     serial_rows, serial_s = timed(run_figure2, scale, jobs=1)
-    figure2 = {"serial_wall_s": serial_s, "wall_s": serial_s, "parallel_speedup": 1.0}
+    figure2: dict = {
+        "serial_wall_s": serial_s,
+        "wall_s": serial_s,
+        "cpu_count": cpu_count,
+    }
     identical = True
-    if jobs > 1:
+    # A measured speedup needs both a fan-out (jobs > 1) and a second
+    # core to fan out onto; otherwise record why it was skipped instead
+    # of a misleading 1.0 (a single-core 1.0 says nothing about the
+    # fan-out machinery, only about the host).
+    if jobs > 1 and cpu_count > 1:
         parallel_rows, parallel_s = timed(run_figure2, scale, jobs=jobs)
         identical = parallel_rows == serial_rows
         figure2["wall_s"] = parallel_s
         figure2["parallel_speedup"] = serial_s / parallel_s
+    else:
+        figure2["parallel_speedup"] = None
+        figure2["parallel_skipped"] = (
+            "jobs <= 1" if jobs <= 1 else "single-core host"
+        )
     experiments["figure2"] = figure2
 
     for name, runner in _experiment_runners(scale, jobs).items():

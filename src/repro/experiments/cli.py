@@ -38,6 +38,9 @@ class ExperimentArgs:
     faults: FaultPlan | None
     trace: str | None
     metrics: str | None
+    #: worker shards for the bounded-lag parallel kernel (per trial);
+    #: 1 = serial kernel (repro.sim.parallel, DESIGN.md §13)
+    shards: int = 1
 
 
 def experiment_parser(
@@ -72,6 +75,19 @@ def experiment_parser(
                 "(see repro.faults.plan.FaultPlan.parse)"
             ),
         )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run each simulated trial on the bounded-lag parallel kernel "
+            "across N worker processes (bit-identical to serial; see "
+            "docs/parallel-kernel.md). Orthogonal to --jobs, which fans "
+            "out independent trials — prefer --jobs when there are many "
+            "trials, --shards when one big trial dominates"
+        ),
+    )
     parser.add_argument(
         "--trace",
         default=None,
@@ -111,12 +127,16 @@ def parse_experiment_args(
             "pause/slow node faults (see DESIGN.md §9)",
             file=sys.stderr,
         )
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        parser.error(f"--shards must be >= 1, got {shards}")
     return ExperimentArgs(
         scale=scale,
         jobs=args.jobs,
         faults=faults,
         trace=args.trace,
         metrics=args.metrics,
+        shards=shards,
     )
 
 

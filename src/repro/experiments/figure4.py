@@ -30,6 +30,7 @@ def run_figure4(
     scale: Scale | None = None,
     jobs: int | None = None,
     faults: FaultPlan | None = None,
+    shards: int = 1,
 ) -> list[dict]:
     """One row per offered load: per-variant speedups on the loaded 4-node machine."""
     scale = scale or current_scale()
@@ -45,7 +46,7 @@ def run_figure4(
     trials = parallel_map(
         run_ga_trial,
         [
-            (scale, fid, FIGURE4_PROCS, 1000 * r + fid, variants, load, faults)
+            (scale, fid, FIGURE4_PROCS, 1000 * r + fid, variants, load, faults, shards)
             for (load, fid, r) in keys
         ],
         jobs=jobs,
@@ -117,7 +118,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parse_experiment_args(parser, argv)
     if args.faults is not None:
         print(f"fault plan: {args.faults.describe()}")
-    print(format_figure4(run_figure4(args.scale, jobs=args.jobs, faults=args.faults)))
+    print(
+        format_figure4(
+            run_figure4(
+                args.scale, jobs=args.jobs, faults=args.faults, shards=args.shards
+            )
+        )
+    )
     # the traced representative run uses the sweep's heaviest load — the
     # regime where blocked time and warp are most informative
     write_observability(

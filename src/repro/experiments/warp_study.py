@@ -90,6 +90,7 @@ def ga_warp(
     age: int,
     load_bps: float,
     faults: FaultPlan | None = None,
+    shards: int = 1,
 ) -> float:
     """Mean warp observed by an island GA run under background load."""
     fn = get_function(scale.ga_functions[0])
@@ -102,7 +103,8 @@ def ga_warp(
             n_generations=scale.ga_generations,
             seed=3,
             machine=machine_for(scale, 4, 3, load_bps, faults),
-        )
+        ),
+        shards=shards,
     )
     return r.mean_warp
 
@@ -111,6 +113,7 @@ def run_warp_study(
     scale: Scale | None = None,
     jobs: int | None = None,
     faults: FaultPlan | None = None,
+    shards: int = 1,
 ) -> dict:
     """Probe-stream warp per load level plus the GA-observed warp comparison."""
     scale = scale or current_scale()
@@ -126,7 +129,7 @@ def run_warp_study(
     warps = parallel_map(
         ga_warp,
         [
-            (scale, mode, age, scale.loads_bps[-1], faults)
+            (scale, mode, age, scale.loads_bps[-1], faults, shards)
             for (_, mode, age) in app_cells
         ],
         jobs=jobs,
@@ -171,7 +174,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parse_experiment_args(parser, argv)
     if args.faults is not None:
         print(f"fault plan: {args.faults.describe()}")
-    print(format_warp_study(run_warp_study(args.scale, jobs=args.jobs, faults=args.faults)))
+    print(
+        format_warp_study(
+            run_warp_study(
+                args.scale, jobs=args.jobs, faults=args.faults, shards=args.shards
+            )
+        )
+    )
     write_observability(
         args, app="ga", load_bps=args.scale.loads_bps[-1], n_nodes=4
     )

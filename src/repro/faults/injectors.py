@@ -329,7 +329,9 @@ class FaultInjector:
             )
         if self.messages.observer is not None:
             self.messages.observer.on_fault("crash-flush", None, now)
-        adapter.queue.clear()
+        # the network owns per-queue derived state (Ethernet's contender
+        # backlog); flushing through it keeps that state consistent
+        self.network.flush_queue(node_id)
 
     def summary(self) -> dict:
         """Injected-fault counts and log size, as a dict."""

@@ -158,8 +158,87 @@ class _Recorder:
         return self.target is not None and self.target_time is not None
 
 
-def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder):
-    """Build the simulated process for one deme."""
+class _LocalDeme:
+    """Authoritative deme computation (the serial path and owner shards).
+
+    The heavy, non-simulated work of one deme — fitness evaluation,
+    ``evolve_one_generation``, migrant extraction, incorporation — lives
+    behind this small interface so a sharded run can swap in a ghost
+    implementation (:mod:`repro.ga.sharded`) that replays records from
+    the owning shard instead of recomputing.  The simulated side of the
+    process (Compute charges, DSM traffic, barriers, Global_Reads) is
+    identical either way, which is what keeps sharded event streams
+    bit-identical to serial.
+
+    Every method is a pure reordering of the original inline code: all
+    numpy work still happens between the same two kernel events it did
+    before the refactor (pinned by the GOLDEN digests).
+    """
+
+    def __init__(self, cfg: IslandGaConfig, deme: int) -> None:
+        fn = cfg.fn
+        self.cfg = cfg
+        self.deme = deme
+        self.enc = BinaryEncoding.for_function(fn, gray=cfg.gray)
+        self.n_mig = max(
+            1, int(round(cfg.migration_fraction * cfg.params.population_size))
+        )
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=cfg.seed, spawn_key=(fn.fid, deme))
+        )
+        self.cache = FitnessCache(
+            lambda g: fn(self.enc.decode(g)), enabled=not fn.noisy
+        )
+        self.scaling = ScalingWindow(window=cfg.params.scaling_window)
+        self.pop: Population | None = None
+        self.best_so_far = float("inf")
+
+    def start(self) -> tuple[float, float, float, tuple]:
+        """Initial population + evaluation; returns (cost_s, best, mean, migrants)."""
+        cfg = self.cfg
+        genomes = self.enc.random_population(cfg.params.population_size, self.rng)
+        self.pop = Population(genomes, self.cache(genomes))
+        self.best_so_far = self.pop.best_fitness
+        cost = cfg.costs.generation_cost(cfg.fn, self.pop.size, self.cache.misses)
+        mg, mf = self.pop.best_individuals(self.n_mig)
+        return cost, self.best_so_far, self.pop.mean_fitness, (mg, mf)
+
+    def evolve(self, g: int) -> tuple[float, float, float, tuple]:
+        """One generation of evolution; returns (cost_s, best, mean, migrants)."""
+        cfg = self.cfg
+        misses_before = self.cache.misses
+        self.pop = evolve_one_generation(
+            self.pop, cfg.params, self.scaling, self.cache, self.rng
+        )
+        cost = cfg.costs.generation_cost(
+            cfg.fn, self.pop.size, self.cache.misses - misses_before
+        )
+        self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
+        mg, mf = self.pop.best_individuals(self.n_mig)
+        return cost, self.best_so_far, self.pop.mean_fitness, (mg, mf)
+
+    def incorporate(self, pool_g: np.ndarray, pool_f: np.ndarray) -> tuple[float, float]:
+        """Install the best arrivals; returns post-incorporation (best, mean)."""
+        order = np.argsort(pool_f, kind="stable")[: self.n_mig]
+        self.pop.replace_worst(pool_g[order], pool_f[order])
+        self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
+        return self.best_so_far, self.pop.mean_fitness
+
+    def finish(self) -> float:
+        """The deme's final best-so-far (the process return value)."""
+        return self.best_so_far
+
+
+def _deme_process(
+    cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder, model=None
+):
+    """Build the simulated process for one deme.
+
+    ``model`` is the execution-model factory: ``(cfg, deme) ->`` an
+    object with the :class:`_LocalDeme` interface.  ``None`` (the serial
+    default) computes locally; :mod:`repro.ga.sharded` substitutes
+    owner/ghost implementations for sharded runs.
+    """
     fn = cfg.fn
     enc = BinaryEncoding.for_function(fn, gray=cfg.gray)
     n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
@@ -168,43 +247,26 @@ def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder)
     migrant_nbytes = n_mig * (enc.nbytes + 8)
 
     def proc(node, task):
-        rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=cfg.seed, spawn_key=(fn.fid, deme))
-        )
-        cache = FitnessCache(lambda g: fn(enc.decode(g)), enabled=not fn.noisy)
+        exec_ = (model or _LocalDeme)(cfg, deme)
         dnode = dsm.node(deme)
         age_ctl = None
         if cfg.dynamic_age and cfg.mode is CoherenceMode.NON_STRICT:
             from repro.core.dynamic_age import DynamicAgeController
 
             age_ctl = DynamicAgeController(initial_age=cfg.age)
-        genomes = enc.random_population(cfg.params.population_size, rng)
-        pop = Population(genomes, cache(genomes))
-        scaling = ScalingWindow(window=cfg.params.scaling_window)
-        best_so_far = pop.best_fitness
-        yield Compute(
-            node.cost(cfg.costs.generation_cost(fn, pop.size, cache.misses))
-        )
-        recorder.report(deme, 0, best_so_far, pop.mean_fitness, task.vm.kernel.now)
+        cost, best, mean, (mg, mf) = exec_.start()
+        yield Compute(node.cost(cost))
+        recorder.report(deme, 0, best, mean, task.vm.kernel.now)
 
         # generation-0 emigrants so nobody blocks on a missing first copy
-        mg, mf = pop.best_individuals(n_mig)
         yield from dnode.write(f"migrants.{deme}", (mg, mf), 0, migrant_nbytes)
 
         for g in range(1, cfg.n_generations + 1):
-            misses_before = cache.misses
-            pop = evolve_one_generation(pop, cfg.params, scaling, cache, rng)
-            yield Compute(
-                node.cost(
-                    cfg.costs.generation_cost(fn, pop.size, cache.misses - misses_before),
-                    label="evolve",
-                )
-            )
-            best_so_far = min(best_so_far, pop.best_fitness)
-            recorder.report(deme, g, best_so_far, pop.mean_fitness, task.vm.kernel.now)
+            cost, best, mean, (mg, mf) = exec_.evolve(g)
+            yield Compute(node.cost(cost, label="evolve"))
+            recorder.report(deme, g, best, mean, task.vm.kernel.now)
 
             # emigrate this generation's best
-            mg, mf = pop.best_individuals(n_mig)
             yield from dnode.write(f"migrants.{deme}", (mg, mf), g, migrant_nbytes)
 
             # immigrate according to the coherence mode
@@ -237,25 +299,38 @@ def _deme_process(cfg: IslandGaConfig, dsm: Dsm, deme: int, recorder: _Recorder)
                         label="incorporate",
                     )
                 )
-                order = np.argsort(pool_f, kind="stable")[:n_mig]
-                pop.replace_worst(pool_g[order], pool_f[order])
-                best_so_far = min(best_so_far, pop.best_fitness)
-                recorder.report(
-                    deme, g, best_so_far, pop.mean_fitness, task.vm.kernel.now
-                )
-        return best_so_far
+                best, mean = exec_.incorporate(pool_g, pool_f)
+                recorder.report(deme, g, best, mean, task.vm.kernel.now)
+        return exec_.finish()
 
     return proc
 
 
-def run_island_ga(cfg: IslandGaConfig, instrument=None) -> IslandGaResult:
+def run_island_ga(
+    cfg: IslandGaConfig, instrument=None, shards: int = 1, deme_model=None
+) -> IslandGaResult:
     """Execute one island-GA run on a freshly built machine.
 
     ``instrument``, if given, is called with the freshly built
     :class:`~repro.core.dsm.Dsm` before any process is spawned — the
     race classifier (:mod:`repro.analysis.races`) attaches itself this
     way without perturbing the run.
+
+    ``shards > 1`` executes the run on the bounded-lag parallel kernel
+    (:mod:`repro.sim.parallel`): worker processes each replay the full
+    event stream but only compute the demes they own, so the result is
+    bit-identical to serial (DESIGN.md §13).  Falls back to serial —
+    with the reason recorded under ``result.metrics["parallel"]`` —
+    when the run cannot shard (noisy fitness function, single deme,
+    instrument hook) or worker processes cannot start.
+
+    ``deme_model`` is the internal execution-model hook used by the
+    sharded workers themselves; see :func:`_deme_process`.
     """
+    if shards > 1 and deme_model is None:
+        from repro.ga.sharded import run_island_ga_sharded
+
+        return run_island_ga_sharded(cfg, shards=shards, instrument=instrument)
     mcfg = cfg.machine or MachineConfig(n_nodes=cfg.n_demes, seed=cfg.seed, measure_warp=True)
     if mcfg.n_nodes != cfg.n_demes:
         raise ValueError(
@@ -280,7 +355,9 @@ def run_island_ga(cfg: IslandGaConfig, instrument=None) -> IslandGaResult:
         )
     recorder = _Recorder(cfg.target)
     handles = [
-        machine.spawn_on(d, _deme_process(cfg, dsm, d, recorder), name=f"deme{d}")
+        machine.spawn_on(
+            d, _deme_process(cfg, dsm, d, recorder, model=deme_model), name=f"deme{d}"
+        )
         for d in range(cfg.n_demes)
     ]
     counter = CompletionCounter(handles)

@@ -106,6 +106,20 @@ class Network:
             raise KeyError(f"frame destination {frame.dst} not attached to {self.name}")
         return [frame.dst]
 
+    def flush_queue(self, node_id: int) -> int:
+        """Discard ``node_id``'s queued egress frames; returns the count.
+
+        The only sanctioned way to empty an adapter queue from outside
+        the link model (the crash injector uses it) — concrete networks
+        that keep derived per-queue state override this to stay in sync.
+        """
+        adapter = self.adapters.get(node_id)
+        if adapter is None:
+            return 0
+        lost = len(adapter.queue)
+        adapter.queue.clear()
+        return lost
+
     # -- to be provided by concrete models ------------------------------
     def _enqueue(self, adapter: Adapter, frame: Frame) -> None:
         raise NotImplementedError

@@ -80,6 +80,9 @@ class EthernetNetwork(Network):
         self._transmitting = False
         self._arbitration_pending = False
         self._last_winner = -1
+        #: node ids with a non-empty egress queue, maintained incrementally
+        #: so arbitration costs O(contenders), not O(attached adapters)
+        self._backlog: set[int] = set()
 
     # ------------------------------------------------------------------
     def _enqueue(self, adapter: Adapter, frame: Frame) -> None:
@@ -90,6 +93,7 @@ class EthernetNetwork(Network):
             )
         frame.enqueue_time = self.kernel.now
         adapter.queue.append(frame)
+        self._backlog.add(adapter.node_id)
         self._schedule_arbitration()
 
     def _schedule_arbitration(self) -> None:
@@ -102,9 +106,7 @@ class EthernetNetwork(Network):
         self._arbitration_pending = False
         if self._transmitting:
             return
-        contenders = sorted(
-            nid for nid, a in self.adapters.items() if a.queue
-        )
+        contenders = self._backlog
         if not contenders:
             return
         delay = self.config.ifg
@@ -117,20 +119,27 @@ class EthernetNetwork(Network):
         self._transmitting = True
         self.kernel.schedule(delay, self._start_tx, winner)
 
-    def _pick_round_robin(self, contenders: list[int]) -> int:
-        """First contender strictly after the last winner, wrapping."""
-        for nid in contenders:
-            if nid > self._last_winner:
-                return nid
-        return contenders[0]
+    def _pick_round_robin(self, contenders: "set[int]") -> int:
+        """Smallest contender strictly after the last winner, wrapping.
+
+        Scans only the backlogged nodes (usually one or two), matching the
+        order the previous ``sorted()``-based scan over every attached
+        adapter produced — bit-identical winners at O(contenders) cost.
+        """
+        last = self._last_winner
+        after = [nid for nid in contenders if nid > last]
+        return min(after) if after else min(contenders)
 
     def _start_tx(self, winner: int) -> None:
         adapter = self.adapters[winner]
         if not adapter.queue:  # defensive: queue drained is impossible by design
+            self._backlog.discard(winner)
             self._transmitting = False
             self._schedule_arbitration()
             return
         frame = adapter.queue.popleft()
+        if not adapter.queue:
+            self._backlog.discard(winner)
         adapter.drain_signal.fire()
         frame.tx_start_time = self.kernel.now
         self.stats.queueing_delay.add(frame.queueing_delay)
@@ -142,6 +151,13 @@ class EthernetNetwork(Network):
         )
         self.stats.busy_time += tx
         self.kernel.schedule(tx, self._end_tx, frame)
+
+    def flush_queue(self, node_id: int) -> int:
+        """Discard queued egress frames, keeping the backlog set in sync."""
+        lost = super().flush_queue(node_id)
+        if lost:
+            self._backlog.discard(node_id)
+        return lost
 
     def _end_tx(self, frame: Frame) -> None:
         self._transmitting = False

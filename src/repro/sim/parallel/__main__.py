@@ -1,0 +1,191 @@
+"""CLI: ``python -m repro.sim.parallel --check`` — the parallel-smoke gate.
+
+Runs the bit-identity battery CI gates merges on:
+
+1. the GOLDEN ``ga_result`` recipe at shards ∈ {1, 2, 4} — every digest
+   must equal ``GOLDEN["ga_result"]``;
+2. the CHAOS ``ga-lossless-chaos`` recipe (duplicate/delay/reorder
+   faults, seed 7) at shards=2 — digest must equal the pinned
+   ``CHAOS_GOLDEN`` value, including the injected-fault log;
+3. a Figure-4-shaped scenario (4 demes, 1 Mbps background load,
+   tracing on) serial vs shards=2 — results bit-identical, per-shard
+   traces byte-identical, and the merged trace (with ``par.window``
+   span events) valid under ``repro.obs validate --strict``.
+
+Writes a JSON report (``--out``), leaves the merged/per-shard trace
+artifacts under ``--trace-dir`` for upload, exits 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import replace
+
+
+def _golden_checks(shard_counts: tuple[int, ...]) -> list[dict]:
+    from repro.bench.determinism import GOLDEN
+    from repro.core.coherence import CoherenceMode
+    from repro.experiments.config import Scale
+    from repro.experiments.speedup import machine_for
+    from repro.ga.functions import get_function
+    from repro.ga.island import IslandGaConfig, run_island_ga
+    from repro.ga.sharded import ga_digest
+
+    cfg = IslandGaConfig(
+        fn=get_function(1),
+        n_demes=2,
+        mode=CoherenceMode.NON_STRICT,
+        age=10,
+        n_generations=40,
+        seed=7,
+        machine=machine_for(Scale.smoke(), 2, 7),
+    )
+    rows = []
+    for shards in shard_counts:
+        result = run_island_ga(cfg, shards=shards)
+        digest = ga_digest(result)
+        info = result.metrics.get("parallel", {})
+        rows.append(
+            {
+                "check": f"golden_ga@{shards}shard",
+                "digest": digest,
+                "golden": GOLDEN["ga_result"],
+                "sharded": bool(info.get("sharded")),
+                "ok": digest == GOLDEN["ga_result"],
+            }
+        )
+    return rows
+
+
+def _chaos_check(shards: int) -> dict:
+    from repro.core.coherence import CoherenceMode
+    from repro.experiments.config import Scale
+    from repro.experiments.speedup import machine_for
+    from repro.faults.chaos import CHAOS_GOLDEN, _mk
+    from repro.ga.functions import get_function
+    from repro.ga.island import IslandGaConfig, run_island_ga
+    from repro.ga.sharded import ga_chaos_digest
+
+    plan = _mk(7, duplicate=0.05, delay=0.05, reorder=0.05)
+    cfg = IslandGaConfig(
+        fn=get_function(1),
+        n_demes=2,
+        mode=CoherenceMode.NON_STRICT,
+        age=10,
+        n_generations=40,
+        seed=7,
+        machine=machine_for(Scale.smoke(), 2, 7, faults=plan),
+    )
+    result = run_island_ga(cfg, shards=shards)
+    info = result.metrics.get("parallel", {})
+    digest = ga_chaos_digest(result, info.get("fault_log", []))
+    golden = CHAOS_GOLDEN["ga-lossless-chaos"]
+    return {
+        "check": f"chaos_ga@{shards}shard",
+        "digest": digest,
+        "golden": golden,
+        "sharded": bool(info.get("sharded")),
+        "ok": digest == golden,
+    }
+
+
+def _figure4_traced_check(shards: int, trace_dir: str) -> dict:
+    from repro.core.coherence import CoherenceMode
+    from repro.experiments.config import Scale
+    from repro.experiments.speedup import machine_for
+    from repro.ga.functions import get_function
+    from repro.ga.island import IslandGaConfig, run_island_ga
+    from repro.ga.sharded import ga_digest, run_island_ga_sharded
+    from repro.obs.schema import validate_trace
+
+    mcfg = replace(machine_for(Scale.smoke(), 4, 11, load_bps=1e6), trace=True)
+    cfg = IslandGaConfig(
+        fn=get_function(1),
+        n_demes=4,
+        mode=CoherenceMode.NON_STRICT,
+        age=10,
+        n_generations=30,
+        seed=11,
+        machine=mcfg,
+    )
+    os.makedirs(trace_dir, exist_ok=True)
+    trace_path = os.path.join(trace_dir, "figure4_sharded.jsonl")
+    serial = run_island_ga(cfg)
+    sharded = run_island_ga_sharded(cfg, shards=shards, trace_path=trace_path)
+    info = sharded.metrics.get("parallel", {})
+    identical = ga_digest(sharded) == ga_digest(serial)
+    merged = info.get("merged_trace")
+    trace_ok = False
+    trace_report: dict = {}
+    if merged:
+        trace_report = validate_trace(merged, strict=True)
+        trace_ok = bool(trace_report.get("ok"))
+    return {
+        "check": f"figure4_traced@{shards}shard",
+        "digest": ga_digest(sharded),
+        "golden": ga_digest(serial),
+        "sharded": bool(info.get("sharded")),
+        "merged_trace": merged,
+        "trace_events": trace_report.get("events"),
+        "trace_errors": trace_report.get("errors", [])[:5],
+        "ok": identical and bool(info.get("sharded")) and trace_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.sim.parallel`` entry point; exits 1 on mismatch."""
+    parser = argparse.ArgumentParser(prog="python -m repro.sim.parallel")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the parallel-kernel bit-identity battery (CI gate)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the chaos and traced checks (default: 2)",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--trace-dir",
+        default="parallel-traces",
+        help="directory for merged/per-shard trace artifacts (default: ./parallel-traces)",
+    )
+    args = parser.parse_args(argv)
+    if not args.check:
+        parser.error("nothing to do: pass --check")
+
+    checks: list[dict] = []
+    print("[parallel] GOLDEN recipe at shards 1/2/4 ...", flush=True)
+    checks += _golden_checks((1, 2, 4))
+    print(f"[parallel] CHAOS recipe at shards={args.shards} ...", flush=True)
+    checks.append(_chaos_check(args.shards))
+    print(f"[parallel] traced figure4 scenario at shards={args.shards} ...", flush=True)
+    checks.append(_figure4_traced_check(args.shards, args.trace_dir))
+
+    report = {"schema": "repro-parallel-check/1", "checks": checks}
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[parallel] wrote {args.out}")
+
+    failed = [c for c in checks if not c["ok"]]
+    for c in checks:
+        status = "ok" if c["ok"] else "FAIL"
+        print(f"[parallel] {c['check']}: {status} (sharded={c['sharded']})")
+    if failed:
+        for c in failed:
+            print(
+                f"[parallel] MISMATCH {c['check']}: {c['digest']} != {c['golden']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

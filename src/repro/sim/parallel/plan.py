@@ -1,0 +1,117 @@
+"""Shard planning: unit→shard assignment and lookahead extraction.
+
+The coordinator partitions the scenario's *unit-communication graph*
+(for the island GA: demes, edges weighted by migrant traffic) with the
+repo's METIS-style multilevel partitioner, so heavily-communicating
+units land in the same shard and the record traffic crossing shard
+boundaries is minimised.
+
+The *lookahead* is the classical conservative-PDES bound — the minimum
+simulated latency of any cross-shard interaction, extracted from the
+interconnect model: no shard can affect another sooner than one
+minimum-size frame can cross the network.  The bounded-lag scheme
+(Lubachevsky) uses it as the window quantum; the coordinator's floor
+broadcasts are quantised to window boundaries (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cluster.machine import MachineConfig
+from repro.partition.multilevel import partition
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Static plan for one sharded run."""
+
+    n_shards: int
+    #: unit index -> owning shard id
+    owner: tuple[int, ...]
+    #: minimum cross-shard simulated latency (seconds) — the window quantum
+    lookahead: float
+    #: bounded-lag horizon (simulated seconds): a shard wall-pauses once
+    #: its clock exceeds ``floor + lag_bound`` until the floor advances
+    lag_bound: float
+
+    def owned_by(self, shard_id: int) -> frozenset:
+        """The unit indices shard ``shard_id`` computes authoritatively."""
+        return frozenset(u for u, s in enumerate(self.owner) if s == shard_id)
+
+    def window_of(self, t: float) -> int:
+        """Bounded-lag window index containing simulated time ``t``."""
+        return int(t / self.lookahead) if self.lookahead > 0 else 0
+
+
+def lookahead_of(mcfg: MachineConfig) -> float:
+    """Minimum cross-node frame latency of the configured interconnect.
+
+    Ethernet: inter-frame gap + wire time of a minimum frame + one-way
+    propagation.  Switch: minimum egress + crossbar + ingress traversal.
+    This is the natural conservative lookahead — no simulated node can
+    influence another in less simulated time than this.
+    """
+    if mcfg.interconnect == "ethernet":
+        c = mcfg.ethernet
+        return c.ifg + c.tx_time(c.min_payload) + c.prop_delay
+    c = mcfg.switch
+    return 2.0 * c.tx_time(0) + c.switch_latency
+
+
+def plan_shards(
+    graph: nx.Graph,
+    n_shards: int,
+    lookahead: float,
+    seed: int = 0,
+    lag_bound: float | None = None,
+) -> ShardPlan:
+    """Partition ``graph``'s units into ``n_shards`` shards.
+
+    ``n_shards`` is clamped to the unit count.  Part labels from the
+    recursive bisection are normalised to 0..k-1 in order of first
+    appearance (unit order), so the plan — like everything else in the
+    simulator — is a pure function of its inputs.
+    """
+    units = sorted(graph.nodes)
+    if units != list(range(len(units))):
+        raise ValueError("unit-communication graph must be labelled 0..n-1")
+    k = max(1, min(n_shards, len(units)))
+    if k == 1:
+        raw = {u: 0 for u in units}
+    else:
+        raw = partition(graph, k, seed=seed)
+    relabel: dict[int, int] = {}
+    owner = []
+    for u in units:
+        part = raw[u]
+        if part not in relabel:
+            relabel[part] = len(relabel)
+        owner.append(relabel[part])
+    if lag_bound is None:
+        # generous by default: execution safety comes from demand-driven
+        # record blocking; the lag bound only caps divergence/buffering
+        lag_bound = max(0.05, 256.0 * lookahead)
+    return ShardPlan(
+        n_shards=len(relabel),
+        owner=tuple(owner),
+        lookahead=lookahead,
+        lag_bound=lag_bound,
+    )
+
+
+def ga_comm_graph(n_demes: int, migrant_nbytes: int) -> nx.Graph:
+    """The island GA's unit-communication graph.
+
+    Migrant exchange is all-to-all (every deme broadcasts to every
+    other), so the graph is complete with uniform edge weights equal to
+    the per-generation migrant payload — any balanced partition is
+    cut-optimal, and the multilevel partitioner degenerates to balanced
+    assignment, which is exactly right for this workload.
+    """
+    g = nx.complete_graph(n_demes)
+    for u, v in g.edges:
+        g[u][v]["weight"] = float(migrant_nbytes)
+    return g

@@ -152,3 +152,58 @@ def test_duplicate_attach_rejected():
     kernel, net, _ = make_net(n_nodes=2)
     with pytest.raises(ValueError):
         net.attach(0, lambda f: None)
+
+
+def test_backlog_tracks_queue_occupancy():
+    kernel, net, _ = make_net(n_nodes=4)
+    net.adapters[0].send(Frame(src=0, dst=1, size_bytes=100))
+    net.adapters[2].send(Frame(src=2, dst=1, size_bytes=100))
+    assert net._backlog == {0, 2}
+    kernel.run()
+    # every queue drained -> the incrementally maintained set is empty
+    assert net._backlog == set()
+    assert all(not a.queue for a in net.adapters.values())
+
+
+def test_flush_queue_keeps_backlog_consistent():
+    kernel, net, _ = make_net(n_nodes=4)
+    for _ in range(3):
+        net.adapters[0].send(Frame(src=0, dst=1, size_bytes=100))
+    assert 0 in net._backlog
+    lost = net.flush_queue(0)
+    # the frame mid-transmission already left the queue; the rest flush
+    assert lost >= 1
+    assert 0 not in net._backlog
+    kernel.run()
+    assert net._backlog == set()
+
+
+def test_crash_injector_flush_leaves_arbitration_consistent():
+    """A crash flush must not leave a stale backlog entry behind (the
+    injector used to clear the adapter queue directly, which would
+    desynchronise the incremental contender set)."""
+    from repro.cluster.machine import Machine, MachineConfig
+    from repro.faults.plan import FaultPlan, NodeFault
+    from repro.sim import Compute
+
+    plan = FaultPlan(
+        node_faults=(NodeFault(node=1, kind="crash", start=0.001, duration=0.01),)
+    )
+    machine = Machine(MachineConfig(n_nodes=3, seed=5, faults=plan))
+
+    def make_proc(node, task):
+        def proc():
+            for _ in range(20):
+                yield from task.send(
+                    (node.node_id + 1) % 3, 1, ("ping",), nbytes=400
+                )
+                yield Compute(0.0002)
+
+        return proc()
+
+    for i in range(3):
+        machine.spawn_on(i, make_proc)
+    machine.kernel.run(until=0.05)
+    assert machine.network._backlog == {
+        nid for nid, a in machine.network.adapters.items() if a.queue
+    }
