@@ -53,6 +53,11 @@ def main(argv: list[str] | None = None) -> int:
 
     micro.update(bench_parallel())
 
+    print("[bench] switched fabric (O(1) per-message check) ...", flush=True)
+    from repro.bench.fabric import bench_fabric
+
+    micro.update(bench_fabric(repeat=args.repeat))
+
     experiments: dict = {}
     determinism = {}
     if not args.skip_suite:

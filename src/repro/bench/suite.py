@@ -17,6 +17,27 @@ from repro.bench.harness import timed
 from repro.experiments.config import Scale
 
 
+def parallel_skip_info(jobs: int, cpu_count: int, mcfg=None) -> dict:
+    """The figure2 block's skip record when no fan-out speedup is measurable.
+
+    A measured speedup needs both a fan-out (jobs > 1) and a second core
+    to fan out onto; otherwise record *why* it was skipped instead of a
+    misleading 1.0 — plus the interconnect fabric and its conservative
+    lookahead, so a reader of the bench point can see what the parallel
+    kernel would have had to work with on this host.
+    """
+    from repro.cluster.machine import MachineConfig
+    from repro.sim.parallel.plan import lookahead_of
+
+    mcfg = mcfg or MachineConfig()
+    return {
+        "parallel_speedup": None,
+        "parallel_skipped": "jobs <= 1" if jobs <= 1 else "single-core host",
+        "fabric": mcfg.interconnect,
+        "lookahead_s": lookahead_of(mcfg),
+    }
+
+
 def _experiment_runners(scale: Scale, jobs: int) -> dict[str, Callable[[], object]]:
     from repro.experiments import (
         run_figure3,
@@ -51,19 +72,19 @@ def run_suite(scale: Scale, jobs: int = 1) -> tuple[dict, dict]:
         "cpu_count": cpu_count,
     }
     identical = True
-    # A measured speedup needs both a fan-out (jobs > 1) and a second
-    # core to fan out onto; otherwise record why it was skipped instead
-    # of a misleading 1.0 (a single-core 1.0 says nothing about the
-    # fan-out machinery, only about the host).
     if jobs > 1 and cpu_count > 1:
         parallel_rows, parallel_s = timed(run_figure2, scale, jobs=jobs)
         identical = parallel_rows == serial_rows
         figure2["wall_s"] = parallel_s
         figure2["parallel_speedup"] = serial_s / parallel_s
     else:
-        figure2["parallel_speedup"] = None
-        figure2["parallel_skipped"] = (
-            "jobs <= 1" if jobs <= 1 else "single-core host"
+        from repro.experiments.speedup import machine_for
+
+        figure2.update(
+            parallel_skip_info(
+                jobs, cpu_count,
+                mcfg=machine_for(scale, scale.processor_counts[-1], 0),
+            )
         )
     experiments["figure2"] = figure2
 

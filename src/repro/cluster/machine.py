@@ -18,6 +18,7 @@ from repro.faults.plan import FaultPlan
 from repro.network.ethernet import EthernetConfig, EthernetNetwork
 from repro.network.loader import LoaderConfig, NetworkLoader
 from repro.network.switch import SwitchConfig, SwitchNetwork
+from repro.network.switched import SwitchedConfig, SwitchedNetwork
 from repro.network.warp import WarpMeter
 from repro.obs.bus import TraceBus
 from repro.pvm.vm import PvmOverheads, Task, VirtualMachine
@@ -31,9 +32,14 @@ class MachineConfig:
 
     n_nodes: int = 4
     seed: int = 0
-    interconnect: str = "ethernet"  # or "switch"
+    interconnect: str = "ethernet"  # or "switch" / "switched"
     ethernet: EthernetConfig = field(default_factory=EthernetConfig)
     switch: SwitchConfig = field(default_factory=SwitchConfig)
+    switched: SwitchedConfig = field(default_factory=SwitchedConfig)
+    #: let Task.mcast use the fabric's multicast tree (one BROADCAST frame
+    #: replicated in-tree) when the destination set is every other task;
+    #: off by default — the paper's PVM multicasts per destination
+    hw_multicast: bool = False
     pvm_overheads: PvmOverheads = field(default_factory=PvmOverheads)
     node_spec: NodeSpec = field(default_factory=NodeSpec)
     #: per-node speed factors (len == n_nodes) overriding node_spec's;
@@ -56,8 +62,10 @@ class MachineConfig:
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("need at least one node")
-        if self.interconnect not in ("ethernet", "switch"):
+        if self.interconnect not in ("ethernet", "switch", "switched"):
             raise ValueError(f"unknown interconnect {self.interconnect!r}")
+        if self.hw_multicast and self.interconnect != "switched":
+            raise ValueError("hw_multicast requires the 'switched' interconnect")
         if self.speed_factors and len(self.speed_factors) != self.n_nodes:
             raise ValueError("speed_factors length must equal n_nodes")
 
@@ -84,9 +92,16 @@ class Machine:
             self.kernel.obs = self.obs
         if config.interconnect == "ethernet":
             self.network = EthernetNetwork(self.kernel, config.ethernet)
+        elif config.interconnect == "switched":
+            self.network = SwitchedNetwork(self.kernel, config.switched)
         else:
             self.network = SwitchNetwork(self.kernel, config.switch)
-        self.vm = VirtualMachine(self.kernel, self.network, config.pvm_overheads)
+        self.vm = VirtualMachine(
+            self.kernel,
+            self.network,
+            config.pvm_overheads,
+            hw_multicast=config.hw_multicast,
+        )
         self.nodes: list[Node] = []
         self.tasks: list[Task] = []
         for i in range(config.n_nodes):

@@ -100,14 +100,26 @@ def traffic_case(
     return digest, injector.summary()
 
 
-def ga_case(plan: FaultPlan) -> tuple[str, dict]:
+def ga_case(
+    plan: FaultPlan,
+    n_demes: int = 2,
+    topology: str = "all",
+    interconnect: str = "ethernet",
+) -> tuple[str, dict]:
     """Digest the small Global_Read island GA under a lossless plan.
 
     The GA's migrant exchange has no retransmission, so a dropped final
     update can (correctly) block a Global_Read forever; chaos plans for
     it therefore stick to lossless faults or node faults — loss-bearing
     plans belong to the traffic family until a retry layer exists.
+
+    ``topology``/``interconnect`` select the migration wiring
+    (:mod:`repro.ga.topology`) and fabric — the switched-fabric row
+    exercises the store-and-forward path under the same chaos contract
+    as shared Ethernet.
     """
+    from dataclasses import replace
+
     from repro.core.coherence import CoherenceMode
     from repro.experiments.config import Scale
     from repro.experiments.speedup import machine_for
@@ -123,15 +135,19 @@ def ga_case(plan: FaultPlan) -> tuple[str, dict]:
         if machine_faults is not None:
             injector.append(machine_faults)
 
+    machine = machine_for(Scale.smoke(), n_demes, 7, faults=plan)
+    if interconnect != machine.interconnect:
+        machine = replace(machine, interconnect=interconnect)
     result = run_island_ga(
         IslandGaConfig(
             fn=get_function(1),
-            n_demes=2,
+            n_demes=n_demes,
             mode=CoherenceMode.NON_STRICT,
             age=10,
             n_generations=40,
             seed=7,
-            machine=machine_for(Scale.smoke(), 2, 7, faults=plan),
+            machine=machine,
+            topology=topology,
         ),
         instrument=grab_injector,
     )
@@ -226,6 +242,12 @@ MATRIX: dict[str, Callable[[], tuple[str, dict]]] = {
     "ga-lossless-chaos": lambda: ga_case(
         _mk(7, duplicate=0.05, delay=0.05, reorder=0.05)
     ),
+    "ga-switched-ring": lambda: ga_case(
+        _mk(10, duplicate=0.05, delay=0.05, reorder=0.05),
+        n_demes=4,
+        topology="ring",
+        interconnect="switched",
+    ),
     "ga-node-faults": lambda: ga_case(
         FaultPlan(
             seed=8,
@@ -248,6 +270,7 @@ CHAOS_GOLDEN = {
     "traffic-mixed": "9d8ab62bfd945b003214ffdafede4fbe4fa10d92950802cd779ee5c27ff2b299",
     "traffic-crash": "a9eb48891f11a3ef3ed7bafad7046d10c2f9a4b626aff2af1ae22ab92d3bac1a",
     "ga-lossless-chaos": "dc4d59c7fde245ec0cec80987bb6886288f27a4b67c365e4993a7fbd7b667586",
+    "ga-switched-ring": "cfa9b5178bdc3a828cc9adc07d9cd254d793b2805469dfd75271f1eb89d807d8",
     "ga-node-faults": "41cc5af29e9c952d9a27c75fecb6c123b062618cb81be0a3582fa5b3f0a8d778",
     "bayes-duplicate": "38806a7333e1e972daba603c42d755986ee0d73b5a4a5c9417208e4597c88af4",
 }

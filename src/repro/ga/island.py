@@ -43,6 +43,7 @@ from repro.ga.fitness_cache import FitnessCache
 from repro.ga.functions import TestFunction, reseed_f4
 from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
 from repro.ga.population import Population
+from repro.ga.topology import TopologySpec, in_peers, readers_of
 from repro.obs.metrics import machine_metrics
 from repro.sim import CompletionCounter, Compute
 
@@ -87,8 +88,24 @@ class IslandGaConfig:
     #: adapt the Global_Read age at runtime (§6 future work); when set,
     #: ``age`` is the controller's initial value
     dynamic_age: bool = False
+    #: migration topology (see repro.ga.topology); "all" reproduces the
+    #: paper's all-to-all exchange bit-identically
+    topology: str = "all"
+    topology_seed: int = 0
+    topology_degree: int = 3
+    topology_group: int = 8
+
+    def topology_spec(self) -> TopologySpec:
+        """The migration wiring of this run as a :class:`TopologySpec`."""
+        return TopologySpec(
+            kind=self.topology,
+            seed=self.topology_seed,
+            degree=self.topology_degree,
+            group=self.topology_group,
+        )
 
     def __post_init__(self) -> None:
+        self.topology_spec()  # validates the topology fields
         if self.n_demes < 1:
             raise ValueError("need at least one deme")
         if self.age < 0:
@@ -242,8 +259,12 @@ def _deme_process(
     fn = cfg.fn
     enc = BinaryEncoding.for_function(fn, gray=cfg.gray)
     n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
-    peers = [p for p in range(cfg.n_demes) if p != deme]
-    group = list(range(cfg.n_demes))
+    peers = in_peers(cfg.topology_spec(), deme, cfg.n_demes)
+    # only the synchronous barrier needs the full group; materialising it
+    # per deme is O(n_demes^2) across the run — ruinous at 4096 demes
+    group = (
+        range(cfg.n_demes) if cfg.mode is CoherenceMode.SYNCHRONOUS else None
+    )
     migrant_nbytes = n_mig * (enc.nbytes + 8)
 
     def proc(node, task):
@@ -343,8 +364,9 @@ def run_island_ga(
         instrument(dsm)
     n_mig = max(1, int(round(cfg.migration_fraction * cfg.params.population_size)))
     enc = BinaryEncoding.for_function(cfg.fn, gray=cfg.gray)
+    topo = cfg.topology_spec()
     for d in range(cfg.n_demes):
-        readers = tuple(r for r in range(cfg.n_demes) if r != d)
+        readers = readers_of(topo, d, cfg.n_demes)
         dsm.register(
             SharedLocationSpec(
                 f"migrants.{d}",

@@ -36,7 +36,6 @@ import numpy as np
 from repro.bench.determinism import digest_values
 from repro.cluster.machine import MachineConfig
 from repro.ga.island import IslandGaConfig, IslandGaResult, _LocalDeme, run_island_ga
-from repro.sim.parallel.plan import ga_comm_graph
 from repro.sim.parallel.records import GenRecord, ShardOutcome
 
 
@@ -181,8 +180,15 @@ class GaShardScenario:
         return self.cfg.n_demes
 
     def comm_graph(self):
-        """All-to-all migrant-exchange graph, weighted by payload bytes."""
+        """Migrant-exchange graph under the run's migration topology.
+
+        All-to-all gives the historical complete graph; structured
+        topologies (ring/torus/hierarchical/random) give the partitioner
+        a sparse graph it can actually cut well, so neighbouring demes
+        land on the same shard and cross-shard record traffic shrinks.
+        """
         from repro.ga.encoding import BinaryEncoding
+        from repro.ga.topology import comm_graph
 
         enc = BinaryEncoding.for_function(self.cfg.fn, gray=self.cfg.gray)
         n_mig = max(
@@ -194,7 +200,9 @@ class GaShardScenario:
                 )
             ),
         )
-        return ga_comm_graph(self.cfg.n_demes, n_mig * (enc.nbytes + 8))
+        return comm_graph(
+            self.cfg.topology_spec(), self.cfg.n_demes, n_mig * (enc.nbytes + 8)
+        )
 
     def machine_config(self) -> MachineConfig:
         """The machine the run will build (for lookahead extraction)."""

@@ -15,6 +15,7 @@ from repro.network.stats import LinkStats
 from repro.network.base import Adapter, Network
 from repro.network.ethernet import EthernetConfig, EthernetNetwork
 from repro.network.switch import SwitchConfig, SwitchNetwork
+from repro.network.switched import FABRICS, SwitchedConfig, SwitchedNetwork
 from repro.network.loader import NetworkLoader, LoaderConfig
 from repro.network.warp import WarpMeter
 
@@ -28,6 +29,9 @@ __all__ = [
     "EthernetNetwork",
     "SwitchConfig",
     "SwitchNetwork",
+    "FABRICS",
+    "SwitchedConfig",
+    "SwitchedNetwork",
     "NetworkLoader",
     "LoaderConfig",
     "WarpMeter",

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Iterable
 
+from dataclasses import replace
+
 from repro.network.base import Network
-from repro.network.frame import Frame
+from repro.network.frame import BROADCAST, Frame
 from repro.pvm.message import ANY_SOURCE, ANY_TAG, Message, PackBuffer
 from repro.sim.kernel import Kernel
 from repro.sim.process import Compute, Signal, WaitSignal
@@ -126,9 +128,28 @@ class Task:
             0, len(dsts) - 1
         )
         yield Compute(cost)
-        for dst in dsts:
-            self._submit(dst, tag, payload, nbytes, trace_ref=trace_ref)
+        if self._hw_multicast_eligible(dsts, payload):
+            self._submit_broadcast(dsts, tag, payload, nbytes, trace_ref=trace_ref)
+        else:
+            for dst in dsts:
+                self._submit(dst, tag, payload, nbytes, trace_ref=trace_ref)
         yield from self._backpressure()
+
+    def _hw_multicast_eligible(self, dsts: list[int], payload: Any) -> bool:
+        """True when one BROADCAST frame can stand in for the unicast fan-out.
+
+        Requires the VM's ``hw_multicast`` opt-in (switched fabrics with a
+        multicast tree), a destination set covering every other task (a
+        broadcast reaches *all* adapters — a partial set would leak), and a
+        non-PackBuffer payload (PackBuffers carry a shared unpack cursor;
+        concurrent receivers would race on it).
+        """
+        return (
+            self.vm.hw_multicast
+            and len(dsts) > 1
+            and not isinstance(payload, PackBuffer)
+            and set(dsts) == set(self.vm.tasks) - {self.tid}
+        )
 
     def _backpressure(self) -> Generator:
         """Block until the egress queue drains below the send window.
@@ -173,6 +194,32 @@ class Task:
         observer = self.vm.observer
         if observer is not None:
             observer.on_send(self.tid, dst, tag, msg.msg_id, self.vm.kernel.now)
+        self.vm._transmit(msg)
+
+    def _submit_broadcast(
+        self,
+        dsts: list[int],
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        trace_ref: str | None = None,
+    ) -> None:
+        """One BROADCAST submission standing in for len(dsts) unicasts.
+
+        Accounting stays in *logical* messages (one per destination) so
+        metrics are comparable across the unicast and hw-multicast paths;
+        only the wire traffic changes.
+        """
+        msg = Message(
+            src=self.tid, dst=BROADCAST, tag=tag, payload=payload, nbytes=nbytes,
+            send_time=self.vm.kernel.now, trace_ref=trace_ref,
+        )
+        self.messages_sent += len(dsts)
+        self.bytes_sent += nbytes * len(dsts)
+        observer = self.vm.observer
+        if observer is not None:
+            for dst in dsts:
+                observer.on_send(self.tid, dst, tag, msg.msg_id, self.vm.kernel.now)
         self.vm._transmit(msg)
 
     # ------------------------------------------------------------------
@@ -261,7 +308,13 @@ class Task:
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
         msg_id, frag_idx, n_frags, msg = frame.payload
-        if msg.dst != self.tid:
+        if msg.dst == BROADCAST:
+            if msg.src == self.tid:
+                return
+            # hw multicast: rebind to this receiver so mailbox state
+            # (dst, arrival_time) is never shared across tasks
+            msg = replace(msg, dst=self.tid)
+        elif msg.dst != self.tid:
             return  # broadcast link frame not for this task
         key = (msg.src, msg_id)
         entry = self._partial.setdefault(key, [0, n_frags, msg])
@@ -283,12 +336,16 @@ class VirtualMachine:
         network: Network,
         overheads: PvmOverheads | None = None,
         send_window: int = 16,
+        hw_multicast: bool = False,
     ) -> None:
         self.kernel = kernel
         self.network = network
         self.overheads = overheads or PvmOverheads()
         #: max egress frames in flight before sends block (socket buffer)
         self.send_window = send_window
+        #: opt-in: eligible mcasts ride the fabric's multicast tree as one
+        #: BROADCAST frame (see Task._hw_multicast_eligible)
+        self.hw_multicast = hw_multicast
         self.tasks: dict[int, Task] = {}
         #: optional message-event observer (``on_send(src, dst, tag,
         #: msg_id, time)`` / ``on_recv(tid, msg, time)``) — the

@@ -1,0 +1,113 @@
+"""scale_study driver: golden pins, sweep rows, skip-path metrics, O(1)."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.scale_study import (
+    SWITCHED_GOLDEN,
+    format_scale_study,
+    golden_scenarios,
+    run_scale_proof,
+    run_scale_study,
+    scenario,
+)
+
+
+class TestScenarioBuilder:
+    def test_builds_switched_machine_with_requested_knobs(self):
+        cfg = scenario(16, "torus", "fat-tree", age=5, radix=4)
+        assert cfg.n_demes == 16
+        assert cfg.topology == "torus"
+        assert cfg.machine.interconnect == "switched"
+        assert cfg.machine.switched.fabric == "fat-tree"
+        assert cfg.machine.switched.radix == 4
+        assert cfg.machine.n_nodes == 16
+
+    def test_bad_topology_or_fabric_rejected(self):
+        with pytest.raises(ValueError):
+            scenario(8, "mesh", "single", age=5)
+        with pytest.raises(ValueError):
+            scenario(8, "ring", "crossbar", age=5)
+
+    def test_golden_scenarios_cover_the_pinned_keys(self):
+        scenarios = golden_scenarios()
+        assert set(scenarios) == set(SWITCHED_GOLDEN)
+        fabrics = {c.machine.switched.fabric for c in scenarios.values()}
+        assert fabrics == {"single", "hierarchical", "fat-tree"}
+        assert any(c.machine.hw_multicast for c in scenarios.values())
+
+    def test_golden_digest_pinned_serially(self):
+        """The serial digest of one golden scenario matches the pin (the
+        full shards {1,2,4} sweep runs in CI's scale-smoke job)."""
+        from repro.ga.island import run_island_ga
+        from repro.ga.sharded import ga_digest
+
+        cfg = golden_scenarios()["ring-hierarchical"]
+        assert ga_digest(run_island_ga(cfg)) == SWITCHED_GOLDEN["ring-hierarchical"]
+
+
+class TestSweep:
+    def test_rows_cover_the_cross_product(self):
+        rows = run_scale_study(Scale.smoke(), deme_counts=(4,), jobs=1)
+        assert len(rows) == 4 * 3 * len(Scale.smoke().ages)
+        assert {r["topology"] for r in rows} == {
+            "ring", "torus", "hierarchical", "random"
+        }
+        assert {r["fabric"] for r in rows} == {"single", "hierarchical", "fat-tree"}
+        assert all(r["messages_sent"] > 0 and r["total_time"] > 0 for r in rows)
+        assert "scale_study" in format_scale_study(rows)
+
+    def test_scale_proof_completes_a_ring(self):
+        record = run_scale_proof(64)
+        assert record["n_demes"] == 64
+        assert record["messages_sent"] > 0
+        assert record["wall_us_per_msg"] > 0
+
+
+class TestParallelSkipInfo:
+    def test_skip_reason_jobs(self):
+        from repro.bench.suite import parallel_skip_info
+
+        info = parallel_skip_info(1, cpu_count=8)
+        assert info["parallel_speedup"] is None
+        assert info["parallel_skipped"] == "jobs <= 1"
+
+    def test_skip_reason_single_core_host(self):
+        from repro.bench.suite import parallel_skip_info
+
+        info = parallel_skip_info(4, cpu_count=1)
+        assert info["parallel_skipped"] == "single-core host"
+
+    def test_skip_records_fabric_and_lookahead(self):
+        from repro.bench.suite import parallel_skip_info
+        from repro.cluster.machine import MachineConfig
+
+        mcfg = MachineConfig(n_nodes=4, interconnect="switched")
+        info = parallel_skip_info(1, cpu_count=1, mcfg=mcfg)
+        assert info["fabric"] == "switched"
+        assert info["lookahead_s"] == pytest.approx(mcfg.switched.min_latency())
+        # default machine: the ethernet fabric is recorded too
+        default = parallel_skip_info(1, cpu_count=1)
+        assert default["fabric"] == "ethernet"
+        assert default["lookahead_s"] > 0
+
+
+def test_per_frame_event_count_is_node_count_independent():
+    """The O(1) hot-path structure: one kernel event per delivered frame,
+    whatever the fabric population — the wall-clock version of this check
+    is ``fabric.o1_ratio`` in the bench trajectory."""
+    from repro.network.frame import Frame
+    from repro.network.switched import SwitchedConfig, SwitchedNetwork
+    from repro.sim import Kernel
+
+    def events_per_frame(n_nodes):
+        kernel = Kernel(seed=0)
+        net = SwitchedNetwork(kernel, SwitchedConfig(fabric="hierarchical"))
+        for i in range(n_nodes):
+            net.attach(i, lambda f: None)
+        for i in range(n_nodes):
+            net.adapters[i].send(Frame(src=i, dst=(i + 1) % n_nodes, size_bytes=64))
+        kernel.run()
+        return kernel._events_executed / n_nodes
+
+    assert events_per_frame(64) == events_per_frame(1024)

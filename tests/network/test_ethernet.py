@@ -207,3 +207,65 @@ def test_crash_injector_flush_leaves_arbitration_consistent():
     assert machine.network._backlog == {
         nid for nid, a in machine.network.adapters.items() if a.queue
     }
+
+
+def test_flush_between_arbitration_win_and_tx_start():
+    """PR-7 regression: a crash flush can land after a node *won* the
+    medium but before its ``_start_tx`` fires.  The defensive empty-queue
+    branch must release the medium, drop the stale backlog entry and
+    re-arbitrate — otherwise the next sender is starved forever."""
+    kernel, net, inboxes = make_net()
+    f0 = Frame(src=0, dst=2, size_bytes=400)
+    f1 = Frame(src=1, dst=2, size_bytes=400)
+    net.adapters[0].send(f0)  # sole contender: wins, _start_tx in one IFG
+
+    def mid_gap():
+        assert net._transmitting  # the win already happened
+        lost = net.flush_queue(0)
+        assert lost == 1
+        net.adapters[1].send(f1)
+
+    kernel.schedule(net.config.ifg / 2, mid_gap)
+    kernel.run()
+    assert inboxes[2] == [f1]  # the waiting sender was re-acquired, not starved
+    assert net._backlog == set()
+    assert not net._transmitting
+
+
+def test_backlog_exact_after_crash_recovery_traffic():
+    """After a crash window ends, the recovered node's sends flow again
+    and the incremental backlog set equals the true queue occupancy at
+    every quiescent point (here: end of run)."""
+    from repro.cluster.machine import Machine, MachineConfig
+    from repro.faults.plan import FaultPlan, NodeFault
+    from repro.sim import Compute
+
+    plan = FaultPlan(
+        node_faults=(NodeFault(node=0, kind="crash", start=0.002, duration=0.004),)
+    )
+    machine = Machine(MachineConfig(n_nodes=2, seed=9, faults=plan))
+    seen = []
+    orig_deliver = machine.network._deliver
+
+    def observing_deliver(frame, dst):
+        seen.append(frame)
+        orig_deliver(frame, dst)
+
+    machine.network._deliver = observing_deliver
+
+    def make_proc(node, task):
+        def proc():
+            for k in range(30):
+                yield from task.send(1 - node.node_id, 1, ("seq", k), nbytes=300)
+                yield Compute(0.0004)
+
+        return proc()
+
+    for i in range(2):
+        machine.spawn_on(i, make_proc)
+    machine.kernel.run(until=0.1)
+    assert machine.network._backlog == {
+        nid for nid, a in machine.network.adapters.items() if a.queue
+    }
+    # frames enqueued after the crash window still flowed
+    assert any(f.enqueue_time > 0.006 for f in seen)

@@ -306,3 +306,96 @@ def test_message_counters():
     assert t1.messages_received == 4
     assert vm.total_messages() == 4
     assert t0.bytes_sent == 16
+
+
+# ---------------------------------------------------------------------------
+# hardware multicast (switched fabrics with a tree, DESIGN.md §14)
+# ---------------------------------------------------------------------------
+
+
+def make_switched_vm(n=4, seed=0, hw_multicast=True):
+    from repro.network.switched import SwitchedConfig, SwitchedNetwork
+
+    kernel = Kernel(seed=seed)
+    net = SwitchedNetwork(kernel, SwitchedConfig(radix=4))
+    vm = VirtualMachine(kernel, net, hw_multicast=hw_multicast)
+    tasks = [vm.add_task(i) for i in range(n)]
+    return kernel, vm, tasks
+
+
+def test_hw_multicast_full_fanout_uses_one_wire_broadcast():
+    kernel, vm, tasks = make_switched_vm()
+    got = {i: [] for i in range(4)}
+
+    def sender():
+        yield from tasks[0].mcast([1, 2, 3], tag=4, payload=(1, 2), nbytes=64)
+
+    def receiver(i):
+        msg = yield from tasks[i].recv(tag=4)
+        got[i].append((msg.src, msg.dst, msg.payload))
+
+    kernel.spawn(sender())
+    for i in (1, 2, 3):
+        kernel.spawn(receiver(i))
+    kernel.run()
+    # every receiver sees the message addressed to itself (not BROADCAST)
+    assert all(got[i] == [(0, i, (1, 2))] for i in (1, 2, 3))
+    # one frame climbed the tree; accounting stays logical
+    assert vm.network.stats.broadcasts == 1
+    assert tasks[0].messages_sent == 3
+    assert tasks[0].bytes_sent == 3 * 64
+
+
+def test_hw_multicast_partial_fanout_falls_back_to_unicast():
+    """A broadcast reaches every adapter; a partial destination set must
+    therefore go out as unicasts or it would leak to non-destinations."""
+    kernel, vm, tasks = make_switched_vm()
+
+    def sender():
+        yield from tasks[0].mcast([1, 2], tag=4, payload=(1,), nbytes=32)
+
+    def receiver(i):
+        yield from tasks[i].recv(tag=4)
+
+    kernel.spawn(sender())
+    for i in (1, 2):
+        kernel.spawn(receiver(i))
+    kernel.run()
+    assert vm.network.stats.broadcasts == 0
+
+
+def test_hw_multicast_packbuffer_falls_back_to_unicast():
+    """PackBuffer payloads carry a shared unpack cursor — receivers would
+    race on it, so they must never ride one shared BROADCAST frame."""
+    kernel, vm, tasks = make_switched_vm()
+    values = []
+
+    def sender():
+        yield from tasks[0].mcast([1, 2, 3], tag=4, payload=PackBuffer().pkint(7))
+
+    def receiver(i):
+        msg = yield from tasks[i].recv(tag=4)
+        values.append(int(msg.payload.upkint()[0]))
+
+    kernel.spawn(sender())
+    for i in (1, 2, 3):
+        kernel.spawn(receiver(i))
+    kernel.run()
+    assert values == [7, 7, 7]  # every copy unpacks independently
+    assert vm.network.stats.broadcasts == 0
+
+
+def test_hw_multicast_off_by_default():
+    kernel, vm, tasks = make_switched_vm(hw_multicast=False)
+
+    def sender():
+        yield from tasks[0].mcast([1, 2, 3], tag=4, payload=(1,), nbytes=16)
+
+    def receiver(i):
+        yield from tasks[i].recv(tag=4)
+
+    kernel.spawn(sender())
+    for i in (1, 2, 3):
+        kernel.spawn(receiver(i))
+    kernel.run()
+    assert vm.network.stats.broadcasts == 0

@@ -24,19 +24,6 @@ from repro.ga.sharded import ga_chaos_digest, ga_digest, run_island_ga_sharded
 from repro.sim.parallel import ga_comm_graph, lookahead_of, plan_shards
 
 
-def golden_cfg(faults=None) -> IslandGaConfig:
-    """The GOLDEN ``ga_result`` recipe (optionally with a fault plan)."""
-    return IslandGaConfig(
-        fn=get_function(1),
-        n_demes=2,
-        mode=CoherenceMode.NON_STRICT,
-        age=10,
-        n_generations=40,
-        seed=7,
-        machine=machine_for(Scale.smoke(), 2, 7, faults=faults),
-    )
-
-
 # ---------------------------------------------------------------------------
 # planning
 
@@ -88,8 +75,8 @@ def test_window_of_quantises_by_lookahead():
 
 
 @pytest.mark.parametrize("shards", [1, 2, 4])
-def test_sharded_golden_digest_unchanged(shards):
-    result = run_island_ga(golden_cfg(), shards=shards)
+def test_sharded_golden_digest_unchanged(golden_island, shards):
+    result = run_island_ga(golden_island(), shards=shards)
     assert ga_digest(result) == GOLDEN["ga_result"]
     info = result.metrics.get("parallel", {})
     if shards > 1:
@@ -97,8 +84,8 @@ def test_sharded_golden_digest_unchanged(shards):
         assert info.get("sharded") or info.get("fallback")
 
 
-def test_sharded_run_really_used_workers():
-    result = run_island_ga(golden_cfg(), shards=2)
+def test_sharded_run_really_used_workers(golden_island):
+    result = run_island_ga(golden_island(), shards=2)
     info = result.metrics["parallel"]
     if not info["sharded"]:  # pragma: no cover - platform without procs
         pytest.skip(f"worker processes unavailable: {info['fallback']}")
@@ -108,11 +95,11 @@ def test_sharded_run_really_used_workers():
 
 
 @pytest.mark.parametrize("shards", [2, 4])
-def test_sharded_chaos_digest_unchanged(shards):
+def test_sharded_chaos_digest_unchanged(golden_island, shards):
     from repro.faults.chaos import CHAOS_GOLDEN, _mk
 
     plan = _mk(7, duplicate=0.05, delay=0.05, reorder=0.05)
-    result = run_island_ga(golden_cfg(faults=plan), shards=shards)
+    result = run_island_ga(golden_island(faults=plan), shards=shards)
     info = result.metrics["parallel"]
     if not info["sharded"]:  # pragma: no cover - platform without procs
         pytest.skip(f"worker processes unavailable: {info['fallback']}")
@@ -120,17 +107,17 @@ def test_sharded_chaos_digest_unchanged(shards):
     assert digest == CHAOS_GOLDEN["ga-lossless-chaos"]
 
 
-def test_noisy_function_falls_back_to_serial():
-    cfg = replace(golden_cfg(), fn=get_function(4), n_generations=5)
+def test_noisy_function_falls_back_to_serial(golden_island):
+    cfg = replace(golden_island(), fn=get_function(4), n_generations=5)
     result = run_island_ga(cfg, shards=2)
     info = result.metrics["parallel"]
     assert not info["sharded"]
     assert "noisy" in info["fallback"]
 
 
-def test_instrument_hook_falls_back_to_serial():
+def test_instrument_hook_falls_back_to_serial(golden_island):
     seen = []
-    result = run_island_ga(golden_cfg(), instrument=seen.append, shards=2)
+    result = run_island_ga(golden_island(), instrument=seen.append, shards=2)
     info = result.metrics["parallel"]
     assert not info["sharded"]
     assert "instrument" in info["fallback"]
@@ -323,13 +310,13 @@ def test_feed_closed_channel_raises_runtime_error():
         feed.publish(GenRecord("start", 0, 0))
 
 
-def test_ghost_divergence_raises():
+def test_ghost_divergence_raises(golden_island):
     from repro.ga.sharded import _GhostDeme
     from repro.sim.parallel.channel import REC
     from repro.sim.parallel.records import GenRecord
 
     feed, conn = _feed()
-    ghost = _GhostDeme(golden_cfg(), 1, feed)
+    ghost = _GhostDeme(golden_island(), 1, feed)
     conn.inbox.append((REC, GenRecord("evolve", 1, 7)))
     with pytest.raises(RuntimeError, match="diverged"):
         ghost.start()  # expected ("start", 0)
