@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bayes.network import BayesianNetwork
+from repro.obs.prof import prof_section
 
 
 @dataclass
@@ -235,16 +236,17 @@ class ProcessorState:
 
     def sample_iteration(self, t: int, rng: np.random.Generator, oracle: GvtOracle) -> None:
         """Sample all own nodes for run ``t`` (optimistically)."""
-        vals: dict[int, int] = {}
-        us = rng.random(len(self.own_nodes))
-        for i, v in enumerate(self.own_nodes):
-            node = self.net.nodes[v]
-            pv = tuple(
-                vals[u] if u in self.own_set else self.input_value(u, t, oracle)
-                for u in node.parents
-            )
-            vals[v] = self.net.sample_node_scalar(v, pv, us[i])
-        self.own_values[t] = vals
+        with prof_section("numpy.bayes"):
+            vals: dict[int, int] = {}
+            us = rng.random(len(self.own_nodes))
+            for i, v in enumerate(self.own_nodes):
+                node = self.net.nodes[v]
+                pv = tuple(
+                    vals[u] if u in self.own_set else self.input_value(u, t, oracle)
+                    for u in node.parents
+                )
+                vals[v] = self.net.sample_node_scalar(v, pv, us[i])
+            self.own_values[t] = vals
         oracle.sampled(self.proc, t)
 
     def apply_actual(

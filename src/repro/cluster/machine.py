@@ -58,6 +58,13 @@ class MachineConfig:
     trace: bool = False
     #: trace-bus capacity; overflow increments TraceBus.dropped
     trace_max_events: int = 500_000
+    #: stream the trace to a rotating gzip sink at this path instead of
+    #: buffering it: peak trace memory becomes O(trace_flush_every)
+    #: regardless of run length and no event is ever dropped (the
+    #: long-run / run-store path; finalize with ``obs.write_jsonl()``)
+    trace_sink: str | None = None
+    #: events buffered between sink flushes when trace_sink is set
+    trace_flush_every: int = 5_000
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -85,9 +92,16 @@ class Machine:
             # installed before any other component so every subsystem's
             # `kernel.obs` lookup (dynamic or cached at construction)
             # sees the bus
+            sink = None
+            if config.trace_sink:
+                from repro.obs.bus import GzipJsonlSink
+
+                sink = GzipJsonlSink(config.trace_sink)
             self.obs = TraceBus(
                 clock=lambda: self.kernel.now,
                 max_events=config.trace_max_events,
+                sink=sink,
+                flush_every=config.trace_flush_every,
             )
             self.kernel.obs = self.obs
         if config.interconnect == "ethernet":

@@ -29,7 +29,12 @@ CLI
 ``--check`` gates the SWITCHED_GOLDEN digests (CI: scale-smoke job);
 ``--smoke`` runs the 256-deme ring scenario serially and 2-sharded and
 requires digest identity; ``--scale-proof N`` completes an N-deme ring
-scenario (default 4096) and prints its shape.
+scenario (default 4096) and prints its shape; ``--analyze PATH``
+summarises a sweep JSON (from ``--out``) into the age × topology ×
+fabric staleness/wall table (archived as a run artifact with
+``--store``); ``--trace-stream N`` runs one traced N-deme ring scenario
+streaming its trace straight into the ``--store`` run store with
+bounded trace memory.
 """
 
 from __future__ import annotations
@@ -232,6 +237,132 @@ def format_scale_study(rows: list[dict]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Sweep analysis (ROADMAP item 2 residual)
+# ---------------------------------------------------------------------------
+
+def analyze_rows(rows: list[dict]) -> dict:
+    """Aggregate sweep rows into the age × topology × fabric summary.
+
+    Rows group by (topology, fabric, age), averaging across deme
+    counts; ``gr_blocked`` (reads that had to wait for a fresh-enough
+    version — the staleness cost) and host wall seconds are the two
+    quantities the age trade-off balances.  Each (topology, fabric)
+    cell's fastest-simulated-time age is flagged ``best_age``.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for r in rows:
+        groups.setdefault((r["topology"], r["fabric"], r["age"]), []).append(r)
+
+    def _mean(rs: list[dict], key: str) -> float:
+        return sum(float(r.get(key, 0.0)) for r in rs) / len(rs)
+
+    summary = []
+    for (topo, fabric, age) in sorted(groups):
+        rs = groups[(topo, fabric, age)]
+        summary.append({
+            "topology": topo,
+            "fabric": fabric,
+            "age": age,
+            "runs": len(rs),
+            "demes": sorted({r["n_demes"] for r in rs}),
+            "best_fitness": _mean(rs, "best_fitness"),
+            "sim_s": _mean(rs, "total_time"),
+            "gr_blocked": sum(int(r.get("gr_blocked", 0)) for r in rs),
+            "mean_warp": _mean(rs, "mean_warp"),
+            "wall_s": _mean(rs, "wall_s"),
+        })
+    fastest: dict[tuple, dict] = {}
+    for row in summary:
+        key = (row["topology"], row["fabric"])
+        if key not in fastest or row["sim_s"] < fastest[key]["sim_s"]:
+            fastest[key] = row
+    for row in summary:
+        row["best_age"] = fastest[(row["topology"], row["fabric"])] is row
+    return {
+        "schema": "repro-scale-analysis/1",
+        "rows": summary,
+        "best_age": {
+            f"{t}/{f}": row["age"] for (t, f), row in sorted(fastest.items())
+        },
+    }
+
+
+def format_analysis(analysis: dict) -> str:
+    """Render the sweep summary as a text table (``*`` = fastest age)."""
+    rows = analysis["rows"]
+    if not rows:
+        return "scale_study --analyze: no rows"
+    return text_table(
+        ["topology", "fabric", "age", "runs", "best", "sim_s",
+         "gr_blocked", "warp", "wall_s"],
+        [
+            [
+                r["topology"], r["fabric"],
+                f"{r['age']}{'*' if r['best_age'] else ''}",
+                r["runs"], r["best_fitness"], r["sim_s"],
+                r["gr_blocked"], r["mean_warp"], r["wall_s"],
+            ]
+            for r in rows
+        ],
+        title=(
+            "scale_study --analyze — staleness (gr_blocked) vs wall by "
+            "age x topology x fabric (* = fastest simulated time)"
+        ),
+    )
+
+
+def run_traced_stream(
+    n_demes: int, store_root: str, flush_every: int = 5_000
+) -> dict:
+    """One traced ``n_demes``-deme ring run streamed into the run store.
+
+    The machine's trace bus writes straight to a rotating gzip sink in
+    the store's staging area (peak trace memory is O(``flush_every``)
+    events, never the full trace), then the finished artifacts are
+    committed content-addressed.  Returns ``{"ref", "events",
+    "peak_buffered", ...}``.
+    """
+    import os
+    from dataclasses import replace as _replace
+
+    from repro.obs.store import RunStore
+
+    store = RunStore(store_root)
+    stage = store.stage()
+    cfg = scenario(n_demes, "ring", "hierarchical", age=5,
+                   n_generations=10, trace=True)
+    cfg = _replace(cfg, machine=_replace(
+        cfg.machine,
+        trace_sink=os.path.join(stage, "trace.jsonl.gz"),
+        trace_flush_every=flush_every,
+    ))
+    holder: dict = {}
+    result = run_island_ga(
+        cfg, instrument=lambda dsm: holder.setdefault("dsm", dsm)
+    )
+    bus = holder["dsm"].vm.kernel.obs
+    events = bus.write_jsonl()
+    with open(os.path.join(stage, "metrics.json"), "w", encoding="utf-8") as fh:
+        json.dump(result.metrics, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    ref = store.put_staged(stage, meta={
+        "app": "scale_study",
+        "kind": "traced-stream",
+        "n_demes": str(n_demes),
+    })
+    return {
+        "ref": ref,
+        "n_demes": n_demes,
+        "events": events,
+        "dropped": bus.dropped,
+        "peak_buffered": bus.peak_buffered,
+        "flush_every": flush_every,
+        "parts": len(bus.sink.paths),
+        "best_fitness": result.best_fitness,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Smoke + scale proof (CI entry points)
 # ---------------------------------------------------------------------------
 
@@ -308,6 +439,22 @@ def main(argv: list[str] | None = None) -> int:
         help="complete an N-deme ring scenario (acceptance: 4096) and exit",
     )
     parser.add_argument(
+        "--analyze", default=None, metavar="PATH",
+        help=(
+            "summarise a sweep JSON (written by --out) into the age x "
+            "topology x fabric staleness/wall table and exit; combined "
+            "with --store, the analysis is archived as a run artifact"
+        ),
+    )
+    parser.add_argument(
+        "--trace-stream", type=int, default=None, metavar="N",
+        help=(
+            "run one traced N-deme ring scenario streaming its trace "
+            "straight into the --store run store (bounded trace memory) "
+            "and exit"
+        ),
+    )
+    parser.add_argument(
         "--demes", type=int, nargs="+", default=[64, 256], metavar="N",
         help="deme counts the sweep crosses (default: 64 256)",
     )
@@ -315,6 +462,43 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write results as JSON to PATH")
     args = parse_experiment_args(parser, argv)
     ns = parser.parse_args(argv)
+
+    if ns.analyze:
+        with open(ns.analyze, "r", encoding="utf-8") as fh:
+            rows = json.load(fh)
+        analysis = analyze_rows(rows)
+        out_path = ns.out
+        if out_path:
+            with open(out_path, "w") as fh:
+                json.dump(analysis, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(format_analysis(analysis))
+        if args.store:
+            import tempfile
+
+            from repro.obs.store import RunStore
+
+            with tempfile.TemporaryDirectory() as td:
+                import os
+
+                ap = out_path or os.path.join(td, "analysis.json")
+                if not out_path:
+                    with open(ap, "w") as fh:
+                        json.dump(analysis, fh, indent=2, sort_keys=True)
+                        fh.write("\n")
+                ref = RunStore(args.store).put(
+                    {"analysis.json": ap, "sweep.json": ns.analyze},
+                    meta={"app": "scale_study", "kind": "analysis"},
+                )
+            print(f"analysis stored -> {args.store} ref {ref}")
+        return 0
+
+    if ns.trace_stream is not None:
+        if not args.store:
+            parser.error("--trace-stream requires --store DIR")
+        record = run_traced_stream(ns.trace_stream, args.store)
+        print(json.dumps(record, indent=2))
+        return 0
 
     if ns.print_digests:
         for name, cfg in golden_scenarios().items():

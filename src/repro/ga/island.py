@@ -45,6 +45,7 @@ from repro.ga.operators import GaParams, ScalingWindow, evolve_one_generation
 from repro.ga.population import Population
 from repro.ga.topology import TopologySpec, in_peers, readers_of
 from repro.obs.metrics import machine_metrics
+from repro.obs.prof import prof_section
 from repro.sim import CompletionCounter, Compute
 
 #: staleness contract for the migrant-exchange locations.  Incorporation
@@ -213,32 +214,35 @@ class _LocalDeme:
     def start(self) -> tuple[float, float, float, tuple]:
         """Initial population + evaluation; returns (cost_s, best, mean, migrants)."""
         cfg = self.cfg
-        genomes = self.enc.random_population(cfg.params.population_size, self.rng)
-        self.pop = Population(genomes, self.cache(genomes))
-        self.best_so_far = self.pop.best_fitness
-        cost = cfg.costs.generation_cost(cfg.fn, self.pop.size, self.cache.misses)
-        mg, mf = self.pop.best_individuals(self.n_mig)
+        with prof_section("numpy.ga"):
+            genomes = self.enc.random_population(cfg.params.population_size, self.rng)
+            self.pop = Population(genomes, self.cache(genomes))
+            self.best_so_far = self.pop.best_fitness
+            cost = cfg.costs.generation_cost(cfg.fn, self.pop.size, self.cache.misses)
+            mg, mf = self.pop.best_individuals(self.n_mig)
         return cost, self.best_so_far, self.pop.mean_fitness, (mg, mf)
 
     def evolve(self, g: int) -> tuple[float, float, float, tuple]:
         """One generation of evolution; returns (cost_s, best, mean, migrants)."""
         cfg = self.cfg
-        misses_before = self.cache.misses
-        self.pop = evolve_one_generation(
-            self.pop, cfg.params, self.scaling, self.cache, self.rng
-        )
-        cost = cfg.costs.generation_cost(
-            cfg.fn, self.pop.size, self.cache.misses - misses_before
-        )
-        self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
-        mg, mf = self.pop.best_individuals(self.n_mig)
+        with prof_section("numpy.ga"):
+            misses_before = self.cache.misses
+            self.pop = evolve_one_generation(
+                self.pop, cfg.params, self.scaling, self.cache, self.rng
+            )
+            cost = cfg.costs.generation_cost(
+                cfg.fn, self.pop.size, self.cache.misses - misses_before
+            )
+            self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
+            mg, mf = self.pop.best_individuals(self.n_mig)
         return cost, self.best_so_far, self.pop.mean_fitness, (mg, mf)
 
     def incorporate(self, pool_g: np.ndarray, pool_f: np.ndarray) -> tuple[float, float]:
         """Install the best arrivals; returns post-incorporation (best, mean)."""
-        order = np.argsort(pool_f, kind="stable")[: self.n_mig]
-        self.pop.replace_worst(pool_g[order], pool_f[order])
-        self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
+        with prof_section("numpy.ga"):
+            order = np.argsort(pool_f, kind="stable")[: self.n_mig]
+            self.pop.replace_worst(pool_g[order], pool_f[order])
+            self.best_so_far = min(self.best_so_far, self.pop.best_fitness)
         return self.best_so_far, self.pop.mean_fitness
 
     def finish(self) -> float:

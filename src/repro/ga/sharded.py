@@ -239,6 +239,12 @@ class GaShardScenario:
         def grab(dsm) -> None:
             holder["dsm"] = dsm
             ctx.feed.bind_clock(lambda: dsm.vm.kernel.now)
+            if getattr(ctx, "profile", False):
+                from repro.obs.prof import current
+
+                # the worker activated the ambient profiler; wire the
+                # kernel loop's section hooks into the same one
+                dsm.vm.kernel.prof = current()
 
         owned = ctx.plan.owned_by(ctx.shard_id)
 
@@ -280,6 +286,7 @@ def run_island_ga_sharded(
     instrument=None,
     trace_path: str | None = None,
     lag_bound: float | None = None,
+    profile: bool = False,
 ) -> IslandGaResult:
     """Run one island GA across ``shards`` worker processes.
 
@@ -305,6 +312,7 @@ def run_island_ga_sharded(
         seed=cfg.seed,
         lag_bound=lag_bound,
         trace_path=trace_path,
+        profile=profile,
     )
     result: IslandGaResult = run.result
     info: dict = {
@@ -325,5 +333,7 @@ def run_island_ga_sharded(
                 "merged_trace": run.merged_trace,
             }
         )
+        if profile:
+            info["prof"] = [o.prof for o in run.outcomes]
     result.metrics["parallel"] = info
     return result

@@ -96,8 +96,18 @@ class Network:
                 # content-addressed lineage ref (e.g. "migrants.0@7") set
                 # by the sender; joins this delivery to its dsm.write
                 fields["ref"] = frame.trace_ref
+            fields.update(self._obs_fields(frame, dst))
             bus.emit("net.deliver", node=dst, **fields)
         self.adapters[dst]._receive(frame)
+
+    def _obs_fields(self, frame: Frame, dst: int) -> dict:
+        """Extra ``net.deliver`` trace fields for this link model.
+
+        Only called when a bus is attached; concrete networks override
+        to annotate deliveries (the switched fabric adds fabric name,
+        hop count and broadcast membership).
+        """
+        return {}
 
     def _destinations(self, frame: Frame) -> list[int]:
         if frame.dst == BROADCAST:

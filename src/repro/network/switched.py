@@ -51,7 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.base import Adapter, Network
-from repro.network.frame import Frame
+from repro.network.frame import BROADCAST, Frame
 from repro.sim.kernel import Kernel
 
 FABRICS = ("single", "hierarchical", "fat-tree")
@@ -172,6 +172,16 @@ class SwitchedNetwork(Network):
         hops += climb + list(reversed(descend))
         hops.append((("h", dst, "d"), cfg.link_bandwidth_bps))
         return hops
+
+    def _obs_fields(self, frame: Frame, dst: int) -> dict:
+        """Annotate traced deliveries with fabric name, hop count and
+        broadcast membership (only computed when a bus is attached;
+        ``path_hops`` is O(fabric depth), same as the delivery itself)."""
+        return {
+            "fabric": self.config.fabric,
+            "hops": len(self.path_hops(frame.src, dst)),
+            "bcast": frame.dst == BROADCAST,
+        }
 
     def min_frame_latency(self, src: int, dst: int, size_bytes: int) -> float:
         """Analytic zero-contention latency of one frame (test oracle)."""

@@ -21,7 +21,18 @@ Subcommands
     default output is the trace path with an ``.html`` suffix.
 ``validate <trace.jsonl> [--strict]``
     Check a trace file against the documented event schema; exit 1 on
-    violations (the CI gate for trace-producing jobs).
+    violations (the CI gate for trace-producing jobs).  Accepts plain,
+    gzipped and rotated traces.
+``store {put,ls,get,diff} [--root DIR]``
+    The content-addressed run store (``<root>/runs/<digest16>/``):
+    ``put`` archives artifact files (traces compressed) under their
+    content digest, ``ls`` lists stored runs, ``get`` extracts one,
+    ``diff`` aligns two stored runs by ref and reports divergence.
+``trend [--root DIR] [--check] [--threshold F] [--json]``
+    Perf-trajectory analysis over ``BENCH_*.json`` (+ bench payloads in
+    the run store): per-key sparkline table and pct-change of the
+    latest transition; ``--check`` exits 1 on a regression beyond the
+    threshold (the CI trend-gate).
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import argparse
 import json
 import sys
 
-from repro.obs.bus import read_jsonl
+from repro.obs.bus import read_jsonl, read_meta
 from repro.obs.causal import critical_path_report
 from repro.obs.dashboard import render_dashboard
 from repro.obs.diff import DEFAULT_DIFF_BINS, diff_traces, render_diff
@@ -87,6 +98,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, metavar="PATH",
         help="write the report to PATH instead of stdout",
     )
+    rep.add_argument(
+        "--prof", default=None, metavar="PATH",
+        help="repro-obs-prof/1 JSON to append as a host-time section",
+    )
 
     cpp = sub.add_parser(
         "critical-path",
@@ -113,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, metavar="PATH",
         help="write the diff to PATH instead of stdout",
     )
+    dif.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="treat the two positionals as run-store refs under DIR",
+    )
 
     dash = sub.add_parser(
         "dashboard", help="render a single-file HTML run dashboard"
@@ -129,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, metavar="PATH",
         help="output HTML path (default: trace path with .html suffix)",
     )
+    dash.add_argument(
+        "--prof", default=None, metavar="PATH",
+        help="repro-obs-prof/1 JSON to render as a host-time card",
+    )
 
     val = sub.add_parser(
         "validate", help="check a trace file against the event schema"
@@ -139,18 +162,78 @@ def main(argv: list[str] | None = None) -> int:
         help="treat unknown event kinds as errors, not warnings",
     )
 
+    sto = sub.add_parser("store", help="content-addressed run store")
+    sto.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="store root; runs live at <root>/runs/<digest16> (default .)",
+    )
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+    sp = sto_sub.add_parser("put", help="archive artifact files as one run")
+    sp.add_argument("files", nargs="+", help="artifact files (traces compressed)")
+    sp.add_argument(
+        "--meta", action="append", default=[], metavar="K=V",
+        help="metadata entries (repeatable)",
+    )
+    sto_sub.add_parser("ls", help="list stored runs, oldest first")
+    sg = sto_sub.add_parser("get", help="extract a stored run")
+    sg.add_argument("ref", help="digest prefix or 'latest'")
+    sg.add_argument("dest", help="output directory")
+    sd = sto_sub.add_parser("diff", help="diff the traces of two stored runs")
+    sd.add_argument("ref_a", help="baseline run ref (A)")
+    sd.add_argument("ref_b", help="comparison run ref (B)")
+    sd.add_argument("--bins", type=int, default=DEFAULT_DIFF_BINS)
+    sd.add_argument("--json", action="store_true")
+    sd.add_argument("--out", default=None, metavar="PATH")
+
+    trd = sub.add_parser("trend", help="perf-trajectory analysis of BENCH_*.json")
+    trd.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding BENCH_<n>.json files (default .)",
+    )
+    trd.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also include bench.json artifacts from this run store",
+    )
+    trd.add_argument(
+        "--threshold", type=float, default=None, metavar="F",
+        help="regression threshold as a fraction (default 0.25)",
+    )
+    trd.add_argument(
+        "--min-magnitude", type=float, default=None, metavar="F",
+        help="skip comparisons where both sides are below F (default 0.05)",
+    )
+    trd.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the latest transition regressed beyond the threshold",
+    )
+    trd.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-obs-trend/1 JSON envelope instead of text",
+    )
+    trd.add_argument(
+        "--verbose", action="store_true",
+        help="include informational / noisy / new keys in the table",
+    )
+    trd.add_argument("--out", default=None, metavar="PATH")
+
     args = parser.parse_args(argv)
 
     try:
         if args.command == "report":
             events = _read_events(args.trace)
             metrics = _read_metrics(args.metrics)
+            prof = _read_metrics(args.prof)
+            meta = read_meta(args.trace)
             if args.json:
                 text = render_envelope(
-                    report_dict(events, metrics=metrics, bins=args.bins)
+                    report_dict(
+                        events, metrics=metrics, bins=args.bins, prof=prof, meta=meta
+                    )
                 )
             else:
-                text = render_report(events, metrics=metrics, bins=args.bins)
+                text = render_report(
+                    events, metrics=metrics, bins=args.bins, prof=prof, meta=meta
+                )
             _write_out(text, args.out, "report")
             return 0
 
@@ -163,12 +246,21 @@ def main(argv: list[str] | None = None) -> int:
             return 0
 
         if args.command == "diff":
+            path_a, path_b = args.trace_a, args.trace_b
+            label_a, label_b = path_a, path_b
+            if args.store:
+                from repro.obs.store import RunStore
+
+                store = RunStore(args.store)
+                ref_a, ref_b = store.resolve(path_a), store.resolve(path_b)
+                path_a, path_b = store.trace_path(ref_a), store.trace_path(ref_b)
+                label_a, label_b = f"store:{ref_a}", f"store:{ref_b}"
             d = diff_traces(
-                _read_events(args.trace_a),
-                _read_events(args.trace_b),
+                _read_events(path_a),
+                _read_events(path_b),
                 bins=args.bins,
-                label_a=args.trace_a,
-                label_b=args.trace_b,
+                label_a=label_a,
+                label_b=label_b,
             )
             text = json.dumps(d, indent=2, sort_keys=True) if args.json else render_diff(d)
             _write_out(text, args.out, "diff")
@@ -178,9 +270,12 @@ def main(argv: list[str] | None = None) -> int:
             events = _read_events(args.trace)
             metrics = _read_metrics(args.metrics)
             html = render_dashboard(
-                events, metrics=metrics, title=args.title or args.trace
+                events, metrics=metrics, title=args.title or args.trace,
+                prof=_read_metrics(args.prof),
             )
-            out = args.out or (args.trace.removesuffix(".jsonl") + ".html")
+            out = args.out or (
+                args.trace.removesuffix(".gz").removesuffix(".jsonl") + ".html"
+            )
             with open(out, "w", encoding="utf-8") as fh:
                 fh.write(html)
             print(f"dashboard -> {out}")
@@ -199,7 +294,84 @@ def main(argv: list[str] | None = None) -> int:
                 f"{verdict['warning_count']} warnings"
             )
             return 0 if verdict["ok"] else 1
-    except OSError as exc:
+
+        if args.command == "store":
+            from repro.obs.store import RunStore
+
+            store = RunStore(args.root)
+            if args.store_command == "put":
+                meta = {}
+                for entry in args.meta:
+                    if "=" not in entry:
+                        print(f"error: --meta needs K=V, got {entry!r}", file=sys.stderr)
+                        return 2
+                    k, _, v = entry.partition("=")
+                    meta[k] = v
+                import os as _os
+
+                ref = store.put(
+                    {_os.path.basename(p): p for p in args.files}, meta=meta
+                )
+                print(ref)
+                return 0
+            if args.store_command == "ls":
+                for run in store.ls():
+                    meta = " ".join(f"{k}={v}" for k, v in sorted(run["meta"].items()))
+                    names = ",".join(sorted(run["files"]))
+                    print(f"{run['ref']}  seq={run['seq']}  [{names}]  {meta}")
+                return 0
+            if args.store_command == "get":
+                names = store.get(args.ref, args.dest)
+                print(f"{store.resolve(args.ref)} -> {args.dest}: {', '.join(names)}")
+                return 0
+            if args.store_command == "diff":
+                ref_a, ref_b = store.resolve(args.ref_a), store.resolve(args.ref_b)
+                d = diff_traces(
+                    _read_events(store.trace_path(ref_a)),
+                    _read_events(store.trace_path(ref_b)),
+                    bins=args.bins,
+                    label_a=f"store:{ref_a}",
+                    label_b=f"store:{ref_b}",
+                )
+                text = (
+                    json.dumps(d, indent=2, sort_keys=True)
+                    if args.json
+                    else render_diff(d)
+                )
+                _write_out(text, args.out, "diff")
+                return 0
+
+        if args.command == "trend":
+            from repro.obs.trend import (
+                DEFAULT_MIN_MAGNITUDE,
+                DEFAULT_THRESHOLD,
+                analyze,
+                load_points,
+                render_trend,
+                trend_report,
+            )
+
+            points = load_points(args.root, store_root=args.store)
+            analysis = analyze(
+                points,
+                threshold=(
+                    DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+                ),
+                min_magnitude=(
+                    DEFAULT_MIN_MAGNITUDE
+                    if args.min_magnitude is None
+                    else args.min_magnitude
+                ),
+            )
+            if args.json:
+                text = json.dumps(trend_report(analysis), indent=2, sort_keys=True)
+            else:
+                text = render_trend(analysis, verbose=args.verbose)
+            _write_out(text, args.out, "trend")
+            if args.check and not analysis["ok"]:
+                return 1
+            return 0
+    except (OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 2  # pragma: no cover - unreachable (subparser is required)

@@ -36,7 +36,7 @@ from repro.obs.causal import (
     critical_path,
     node_segments,
 )
-from repro.obs.report import warp_streams
+from repro.obs.report import fabric_summary, parallel_summary, warp_streams
 
 #: display order, labels and CSS classes of the attribution buckets
 _BUCKET_ORDER = ("compute", "gr_blocking", "network", "rollback")
@@ -358,6 +358,65 @@ def _attribution_table(attr: dict) -> str:
     )
 
 
+def _parallel_table(events: list[ObsEvent]) -> str:
+    """Bounded-lag window card: per-shard barrier-wait table, or ''."""
+    s = parallel_summary(events)
+    if s is None:
+        return ""
+    rows = "".join(
+        "<tr><td>shard {s}</td><td>{w}</td><td>{e}</td><td>{n}</td>"
+        "<td>{t}</td></tr>".format(
+            s=_esc(shard), w=int(r["windows"]), e=int(r["max_epoch"]),
+            n=int(r["waits"]), t=_fmt(r["wall_wait_s"]),
+        )
+        for shard, r in s["per_shard"].items()
+    )
+    return (
+        "<section class='card'><h2>Parallel kernel — bounded-lag windows"
+        "</h2><p class='sub'>"
+        f"{s['shards']} shards · {_fmt(s['total_wall_wait_s'])}s total "
+        "barrier wait</p><table><thead><tr><th>shard</th><th>windows</th>"
+        "<th>last epoch</th><th>waits</th><th>wall wait (s)</th></tr>"
+        f"</thead><tbody>{rows}</tbody></table></section>"
+    )
+
+
+def _fabric_table(events: list[ObsEvent]) -> str:
+    """Switched-fabric delivery card (hops, broadcast, occupancy), or ''."""
+    s = fabric_summary(events)
+    if s is None:
+        return ""
+    rows = "".join(
+        "<tr><td>{f}</td><td>{d}</td><td>{b}</td><td>{by}</td><td>{mh}</td>"
+        "<td>{xh}</td><td>{occ}</td></tr>".format(
+            f=_esc(name), d=int(r["deliveries"]), b=int(r["broadcast"]),
+            by=int(r["bytes"]), mh=_fmt(r["mean_hops"]),
+            xh=int(r["max_hops"]), occ=_fmt(r["links_per_sim_s"]),
+        )
+        for name, r in s.items()
+    )
+    return (
+        "<section class='card'><h2>Switched fabric deliveries</h2>"
+        "<table><thead><tr><th>fabric</th><th>deliveries</th><th>bcast</th>"
+        "<th>bytes</th><th>mean hops</th><th>max hops</th>"
+        "<th>link occupancy (hops/sim-s)</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table></section>"
+    )
+
+
+def _profile_card(prof: dict | None) -> str:
+    """Host-time flame card from a ``repro-obs-prof/1`` envelope, or ''."""
+    if prof is None:
+        return ""
+    from repro.obs.prof import profile_html
+
+    return (
+        "<section class='card'><h2>Host-time profile</h2>"
+        + profile_html(prof)
+        + "</section>"
+    )
+
+
 _CSS = """
 .viz-root {
   color-scheme: light;
@@ -441,6 +500,12 @@ td { padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid);
 tr.total td { border-bottom: none; font-weight: 600; }
 .empty { color: var(--muted); }
 footer { color: var(--muted); font-size: 12px; margin-top: 18px; }
+.profrow { position: relative; height: 18px; margin: 2px 0; }
+.profbar { position: absolute; left: 0; top: 0; bottom: 0;
+  background: var(--s-compute); opacity: 0.35; border-radius: 3px; }
+.proflbl { position: relative; font-size: 12px; line-height: 18px;
+  color: var(--text-secondary); padding-left: 4px;
+  font-variant-numeric: tabular-nums; }
 """
 
 
@@ -448,8 +513,14 @@ def render_dashboard(
     events: Iterable[ObsEvent],
     metrics: dict | None = None,
     title: str = "repro run dashboard",
+    prof: dict | None = None,
 ) -> str:
-    """Render one trace as a self-contained HTML page (a string)."""
+    """Render one trace as a self-contained HTML page (a string).
+
+    ``prof`` is an optional ``repro-obs-prof/1`` envelope rendered as a
+    host-time flame card; parallel-kernel window and switched-fabric
+    cards appear automatically when the trace carries those events.
+    """
     events = sorted(events, key=lambda e: e.time)
     g = build_spans(events)
     attr = attribute(g)
@@ -495,8 +566,9 @@ def render_dashboard(
 <div><h2>Global_Read staleness histogram</h2>
 {_staleness_svg(events)}</div>
 </section>
-<section class='card'><h2>Wall-time attribution per node</h2>
+{_parallel_table(events)}{_fabric_table(events)}<section class='card'><h2>Wall-time attribution per node</h2>
 {_attribution_table(attr)}</section>
+{_profile_card(prof)}
 <footer>rendered by repro.obs dashboard · trace schema
  docs/observability.md · critical path repro-obs-critical-path/1</footer>
 </div>

@@ -17,7 +17,7 @@ is built inside :func:`repro.ga.island.run_island_ga` /
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.core.coherence import CoherenceMode
 from repro.experiments.config import Scale, current_scale
@@ -33,6 +33,28 @@ class TracedRun:
     result: object
     bus: TraceBus
     metrics: dict
+    #: ``repro-obs-prof/1`` envelope when the trial was run with
+    #: ``profile=True`` (host-time section profiler), else None
+    profile: dict | None = None
+    #: provenance recorded into the run store's manifest meta
+    meta: dict = field(default_factory=dict)
+
+
+def _profiler(app: str):
+    """Activate an ambient :class:`HostProfiler` for one traced trial."""
+    from repro.obs.prof import HostProfiler, activate
+
+    prof = HostProfiler()
+    prof.meta["app"] = app
+    return activate(prof)
+
+
+def _finish_profile(prof) -> dict:
+    """Stop the trial profiler and bundle its envelope."""
+    from repro.obs.prof import deactivate, profile_report
+
+    deactivate()
+    return profile_report(prof.snapshot(), [], meta=dict(prof.meta))
 
 
 def traced_ga_run(
@@ -44,12 +66,15 @@ def traced_ga_run(
     age: int | None = None,
     fid: int | None = None,
     n_generations: int | None = None,
+    profile: bool = False,
 ) -> TracedRun:
     """One partially asynchronous island-GA run with the trace bus on.
 
     Defaults mirror the figure runs: the scale's first function, its
     largest age (the paper's best-performing region), ``measure_warp``
     on, and optional background load / fault plan pass-through.
+    ``profile=True`` additionally runs the host-time section profiler
+    (determinism-neutral) and attaches its envelope.
     """
     from repro.experiments.speedup import machine_for
     from repro.ga.functions import get_function
@@ -60,20 +85,36 @@ def traced_ga_run(
         machine_for(scale, n_demes, seed, load_bps, faults), trace=True
     )
     holder: dict = {}
-    result = run_island_ga(
-        IslandGaConfig(
-            fn=get_function(fid if fid is not None else scale.ga_functions[0]),
-            n_demes=n_demes,
-            mode=CoherenceMode.NON_STRICT,
-            age=age if age is not None else scale.ages[-1],
-            n_generations=n_generations or scale.ga_generations,
-            seed=seed,
-            machine=mcfg,
-        ),
-        instrument=lambda dsm: holder.setdefault("dsm", dsm),
-    )
+    prof = _profiler("ga") if profile else None
+
+    def hook(dsm) -> None:
+        holder.setdefault("dsm", dsm)
+        if prof is not None:
+            dsm.vm.kernel.prof = prof
+
+    try:
+        result = run_island_ga(
+            IslandGaConfig(
+                fn=get_function(
+                    fid if fid is not None else scale.ga_functions[0]
+                ),
+                n_demes=n_demes,
+                mode=CoherenceMode.NON_STRICT,
+                age=age if age is not None else scale.ages[-1],
+                n_generations=n_generations or scale.ga_generations,
+                seed=seed,
+                machine=mcfg,
+            ),
+            instrument=hook,
+        )
+    finally:
+        env = _finish_profile(prof) if prof is not None else None
     bus = holder["dsm"].vm.kernel.obs
-    return TracedRun(app="ga", result=result, bus=bus, metrics=result.metrics)
+    return TracedRun(
+        app="ga", result=result, bus=bus, metrics=result.metrics,
+        profile=env,
+        meta={"app": "ga", "n_nodes": n_demes, "seed": seed},
+    )
 
 
 def traced_bayes_run(
@@ -83,6 +124,7 @@ def traced_bayes_run(
     faults: FaultPlan | None = None,
     seed: int = 7,
     age: int | None = None,
+    profile: bool = False,
 ) -> TracedRun:
     """One partially asynchronous Bayes-inference run with tracing on."""
     from repro.bayes.parallel import ParallelLsConfig, run_parallel_logic_sampling
@@ -93,27 +135,42 @@ def traced_bayes_run(
     net = build_network(network)
     mcfg = replace(machine_for(scale, n_procs, seed, 0.0, faults), trace=True)
     holder: dict = {}
-    result = run_parallel_logic_sampling(
-        ParallelLsConfig(
-            net=net,
-            query=pick_query(net, seed=0),
-            n_procs=n_procs,
-            mode=CoherenceMode.NON_STRICT,
-            age=age if age is not None else scale.ages[-1],
-            seed=seed,
-            machine=mcfg,
-            max_iterations=scale.bn_max_iterations,
-        ),
-        instrument=lambda dsm: holder.setdefault("dsm", dsm),
-    )
+    prof = _profiler("bayes") if profile else None
+
+    def hook(dsm) -> None:
+        holder.setdefault("dsm", dsm)
+        if prof is not None:
+            dsm.vm.kernel.prof = prof
+
+    try:
+        result = run_parallel_logic_sampling(
+            ParallelLsConfig(
+                net=net,
+                query=pick_query(net, seed=0),
+                n_procs=n_procs,
+                mode=CoherenceMode.NON_STRICT,
+                age=age if age is not None else scale.ages[-1],
+                seed=seed,
+                machine=mcfg,
+                max_iterations=scale.bn_max_iterations,
+            ),
+            instrument=hook,
+        )
+    finally:
+        env = _finish_profile(prof) if prof is not None else None
     bus = holder["dsm"].vm.kernel.obs
-    return TracedRun(app="bayes", result=result, bus=bus, metrics=result.metrics)
+    return TracedRun(
+        app="bayes", result=result, bus=bus, metrics=result.metrics,
+        profile=env,
+        meta={"app": "bayes", "n_nodes": n_procs, "seed": seed},
+    )
 
 
 def write_artifacts(
     run: TracedRun,
     trace_path: str | None = None,
     metrics_path: str | None = None,
+    profile_path: str | None = None,
 ) -> dict:
     """Write the requested artifact files; returns {kind: path, ...}."""
     written: dict = {}
@@ -125,7 +182,43 @@ def write_artifacts(
             json.dump(run.metrics, fh, sort_keys=True, indent=2)
             fh.write("\n")
         written["metrics"] = {"path": metrics_path}
+    if profile_path and run.profile is not None:
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            json.dump(run.profile, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        written["profile"] = {"path": profile_path}
     return written
+
+
+def store_run(run: TracedRun, store_root: str) -> str:
+    """Persist one traced trial into the content-addressed run store.
+
+    Serialises the trial's trace / metrics / profile into a temporary
+    staging area and hands them to :meth:`repro.obs.store.RunStore.put`
+    (traces land gzip-compressed under ``runs/<digest>/``).  Returns the
+    short run ref for ``python -m repro.obs store get`` / ``diff``.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.store import RunStore
+
+    store = RunStore(store_root)
+    with tempfile.TemporaryDirectory() as td:
+        tp = os.path.join(td, "trace.jsonl")
+        run.bus.write_jsonl(tp)
+        mp = os.path.join(td, "metrics.json")
+        with open(mp, "w", encoding="utf-8") as fh:
+            json.dump(run.metrics, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        files = {"trace.jsonl": tp, "metrics.json": mp}
+        if run.profile is not None:
+            pp = os.path.join(td, "profile.json")
+            with open(pp, "w", encoding="utf-8") as fh:
+                json.dump(run.profile, fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            files["profile.json"] = pp
+        return store.put(files, meta=dict(run.meta))
 
 
 def trace_experiment(
@@ -136,25 +229,32 @@ def trace_experiment(
     load_bps: float = 0.0,
     n_nodes: int = 4,
     faults: FaultPlan | None = None,
+    profile_path: str | None = None,
+    store_root: str | None = None,
 ) -> TracedRun | None:
-    """The experiment drivers' ``--trace``/``--metrics`` back end.
+    """The experiment drivers' observability back end.
 
     Runs one traced ``app`` trial (``"ga"`` or ``"bayes"``) matching the
-    experiment's machine shape, writes the requested artifacts and
-    prints where they landed.  No-op returning None when neither path is
-    given.
+    experiment's machine shape, writes the requested artifacts
+    (``--trace``/``--metrics``/``--profile``), optionally archives the
+    trial into the run store (``--store``), and prints where everything
+    landed.  No-op returning None when no destination is given.
     """
-    if not trace_path and not metrics_path:
+    if not trace_path and not metrics_path and not profile_path and not store_root:
         return None
+    profile = bool(profile_path)
     if app == "ga":
         run = traced_ga_run(
-            scale, n_demes=n_nodes, load_bps=load_bps, faults=faults
+            scale, n_demes=n_nodes, load_bps=load_bps, faults=faults,
+            profile=profile,
         )
     elif app == "bayes":
-        run = traced_bayes_run(scale, n_procs=n_nodes, faults=faults)
+        run = traced_bayes_run(
+            scale, n_procs=n_nodes, faults=faults, profile=profile
+        )
     else:
         raise ValueError(f"unknown traced app {app!r}")
-    written = write_artifacts(run, trace_path, metrics_path)
+    written = write_artifacts(run, trace_path, metrics_path, profile_path)
     if "trace" in written:
         print(
             f"trace: {written['trace']['events']} events -> "
@@ -163,4 +263,16 @@ def trace_experiment(
         )
     if "metrics" in written:
         print(f"metrics snapshot -> {written['metrics']['path']}")
+    if "profile" in written:
+        print(
+            f"host-time profile -> {written['profile']['path']}  "
+            f"(render with: python -m repro.obs report "
+            f"{trace_path or '<trace>'} --prof {written['profile']['path']})"
+        )
+    if store_root:
+        ref = store_run(run, store_root)
+        print(
+            f"run stored -> {store_root} ref {ref}  "
+            f"(list with: python -m repro.obs store --root {store_root} ls)"
+        )
     return run

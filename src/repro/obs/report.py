@@ -349,6 +349,108 @@ def render_faults(events: list[ObsEvent]) -> str:
     )
 
 
+def parallel_summary(events: list[ObsEvent]) -> dict | None:
+    """Per-shard bounded-lag window stats from ``par.window`` spans.
+
+    A merged parallel-kernel trace (:func:`repro.sim.parallel.trace.
+    merge_shard_traces`) carries one span per shard per floor epoch;
+    this aggregates them into the utilization view: window count, total
+    wall-clock barrier wait and wait events per shard.
+    """
+    spans = [e for e in events if e.kind == "par.window"]
+    if not spans:
+        return None
+    per_shard: dict[int, dict[str, float]] = {}
+    for e in spans:
+        row = per_shard.setdefault(
+            int(e.fields.get("shard", -1)),
+            {"windows": 0, "wall_wait_s": 0.0, "waits": 0, "max_epoch": 0},
+        )
+        row["windows"] += 1
+        row["wall_wait_s"] += float(e.fields.get("wall_wait_s", 0.0))
+        row["waits"] += int(e.fields.get("waits", 0))
+        row["max_epoch"] = max(row["max_epoch"], int(e.fields.get("epoch", 0)))
+    return {
+        "shards": len(per_shard),
+        "per_shard": {str(s): per_shard[s] for s in sorted(per_shard)},
+        "total_wall_wait_s": sum(r["wall_wait_s"] for r in per_shard.values()),
+    }
+
+
+def render_parallel(events: list[ObsEvent]) -> str:
+    """The bounded-lag parallel-kernel section (sharded runs only)."""
+    s = parallel_summary(events)
+    if s is None:
+        return ""
+    rows = [
+        [shard, int(r["windows"]), int(r["max_epoch"]), int(r["waits"]), r["wall_wait_s"]]
+        for shard, r in s["per_shard"].items()
+    ]
+    return _table(
+        ["shard", "windows", "last epoch", "waits", "wall wait (s)"],
+        rows,
+        title=(
+            "Parallel kernel (bounded-lag windows) — "
+            f"{s['shards']} shards, {s['total_wall_wait_s']:.3g}s total barrier wait"
+        ),
+    )
+
+
+def fabric_summary(events: list[ObsEvent]) -> dict | None:
+    """Switched-fabric delivery stats from annotated ``net.deliver``.
+
+    Deliveries carry ``fabric``/``hops``/``bcast`` when they crossed a
+    :class:`repro.network.switched.SwitchedNetwork`; shared-Ethernet
+    traces have none and this section stays silent.  Link occupancy is
+    reported as hop-traversals (each frame occupies ``hops`` directed
+    links) per simulated second.
+    """
+    rows: dict[str, dict[str, float]] = {}
+    t_end = events[-1].time if events else 0.0
+    for e in events:
+        if e.kind != "net.deliver" or "fabric" not in e.fields:
+            continue
+        row = rows.setdefault(
+            str(e.fields["fabric"]),
+            {
+                "deliveries": 0, "broadcast": 0, "bytes": 0,
+                "hop_traversals": 0, "max_hops": 0,
+            },
+        )
+        hops = int(e.fields.get("hops", 0))
+        row["deliveries"] += 1
+        row["broadcast"] += 1 if e.fields.get("bcast") else 0
+        row["bytes"] += int(e.fields.get("size", 0))
+        row["hop_traversals"] += hops
+        row["max_hops"] = max(row["max_hops"], hops)
+    if not rows:
+        return None
+    for row in rows.values():
+        row["mean_hops"] = row["hop_traversals"] / row["deliveries"]
+        row["links_per_sim_s"] = row["hop_traversals"] / t_end if t_end > 0 else 0.0
+    return {name: rows[name] for name in sorted(rows)}
+
+
+def render_fabric(events: list[ObsEvent]) -> str:
+    """The switched-fabric delivery section (switched runs only)."""
+    s = fabric_summary(events)
+    if s is None:
+        return ""
+    rows = [
+        [
+            name, int(r["deliveries"]), int(r["broadcast"]), int(r["bytes"]),
+            r["mean_hops"], int(r["max_hops"]), r["links_per_sim_s"],
+        ]
+        for name, r in s.items()
+    ]
+    return _table(
+        ["fabric", "deliveries", "bcast", "bytes", "mean hops", "max hops",
+         "link occupancy (hops/sim-s)"],
+        rows,
+        title="Switched fabric deliveries",
+    )
+
+
 def render_metrics(metrics: dict) -> str:
     """Counters/gauges of a metrics snapshot as two compact tables."""
     counters = _table(
@@ -368,13 +470,27 @@ def render_report(
     events: list[ObsEvent],
     metrics: dict | None = None,
     bins: int = DEFAULT_BINS,
+    prof: dict | None = None,
+    meta: dict | None = None,
 ) -> str:
-    """The full report: header + every applicable section."""
+    """The full report: header + every applicable section.
+
+    ``prof`` is an optional ``repro-obs-prof/1`` envelope (host-time
+    profile); ``meta`` the trace's ``trace.meta`` trailer, whose
+    ``events_dropped`` count — a truncated capture — is surfaced in the
+    header rather than silently ignored.
+    """
     events = sorted(events, key=lambda e: e.time)
     t_end = events[-1].time if events else 0.0
+    dropped = int(meta.get("events_dropped", 0)) if meta else 0
+    dropped_note = (
+        f" (TRUNCATED CAPTURE: {dropped} events dropped at the buffer cap)"
+        if dropped
+        else ""
+    )
     header = (
         f"Trace report — {len(events)} events over {t_end:.4g} simulated "
-        "seconds\n  events by kind: "
+        f"seconds{dropped_note}\n  events by kind: "
         + "  ".join(
             f"{k}:{v}"
             for k, v in sorted(Counter(e.kind for e in events).items())
@@ -386,11 +502,17 @@ def render_report(
         render_blocking(events),
         render_rollback(events),
         render_warp(events),
+        render_parallel(events),
+        render_fabric(events),
         render_commits(events),
         render_faults(events),
     ]
     if metrics is not None:
         sections.append(render_metrics(metrics))
+    if prof is not None:
+        from repro.obs.prof import render_profile
+
+        sections.append(render_profile(prof))
     return "\n\n".join(s for s in sections if s)
 
 
@@ -409,6 +531,8 @@ def report_dict(
     events: list[ObsEvent],
     metrics: dict | None = None,
     bins: int = DEFAULT_BINS,
+    prof: dict | None = None,
+    meta: dict | None = None,
 ) -> dict:
     """The report as a machine-readable dict (``repro-obs-report/1``).
 
@@ -454,9 +578,14 @@ def report_dict(
         },
         "rollback": rollback_summary(events),
         "warp": {"streams": warp, "all": _warp_stats(all_samples) if all_samples else None},
+        "parallel": parallel_summary(events),
+        "fabric": fabric_summary(events),
         "commits": commit_summary(events),
         "faults": fault_counts(events),
+        "events_dropped": int(meta.get("events_dropped", 0)) if meta else 0,
     }
     if metrics is not None:
         payload["metrics"] = metrics
+    if prof is not None:
+        payload["profile"] = prof
     return make_envelope(REPORT_SCHEMA, payload)

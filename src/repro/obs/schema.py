@@ -44,6 +44,9 @@ TRACE_SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
     "proc.fail": {"pid": int, "name": str, "error": str},
     "net.deliver": {
         "src": int, "frame_kind": str, "size": int, "enq": _NUM, "ref?": str,
+        # switched-fabric annotations (repro.network.switched); shared-
+        # Ethernet deliveries don't carry them
+        "fabric?": str, "hops?": int, "bcast?": bool,
     },
     "node.compute": {"baseline": _NUM, "cost": _NUM, "op?": str},
     "dsm.write": {"locn": str, "iter": int},
@@ -86,7 +89,14 @@ def _check_fields(kind: str, obj: dict, line_no: int, errors: list[str]) -> None
             continue
         val = obj[key]
         # JSON has no int/float distinction on the wire for whole floats,
-        # but bool is an int subclass and never a valid trace value
+        # but bool is an int subclass and only valid where declared bool
+        if typ is bool:
+            if not isinstance(val, bool):
+                errors.append(
+                    f"line {line_no}: {kind}.{key} has type "
+                    f"{type(val).__name__}, expected bool"
+                )
+            continue
         if isinstance(val, bool) or not isinstance(val, typ):
             errors.append(
                 f"line {line_no}: {kind}.{key} has type "
@@ -188,7 +198,13 @@ def validate_lines(lines: list[str], strict: bool = False) -> dict[str, Any]:
 
 
 def validate_trace(path: str, strict: bool = False) -> dict[str, Any]:
-    """Validate a trace file on disk (see :func:`validate_lines`)."""
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().splitlines()
+    """Validate a trace on disk (see :func:`validate_lines`).
+
+    ``path`` may be a plain JSONL file, the base path of a (possibly
+    rotated) gzip trace, or a directory of parts — the same forms
+    :func:`repro.obs.bus.read_jsonl` accepts.
+    """
+    from repro.obs.bus import iter_trace_lines
+
+    lines = [line.rstrip("\n") for line in iter_trace_lines(path)]
     return validate_lines(lines, strict=strict)

@@ -1,0 +1,276 @@
+"""Content-addressed on-disk run store (``python -m repro.obs store``).
+
+ROADMAP item 5 wants experiment results stored content-addressed so
+dashboards and diffs can be served over historical runs; this module is
+that storage layer.  One *run* is a named set of artifacts — config,
+metrics, traces, analysis tables — plus free-form metadata; its
+identity is a SHA-256 over the stored bytes of every artifact and the
+metadata, generalizing the ``"<locn>@<iter>"`` lineage-ref idiom from
+the causal layer: a ref names immutable content, never a location in
+time.
+
+Layout under the store root::
+
+    runs/<digest16>/manifest.json      repro-obs-run/1 envelope
+    runs/<digest16>/<artifact files>   traces gzip-compressed
+
+Properties:
+
+* **Deterministic.**  Artifacts are stored byte-for-byte; traces are
+  recompressed with a zeroed gzip mtime, so the same run content always
+  produces the same digest (the round-trip put→get→put test pins this).
+* **Idempotent.**  Re-putting identical content lands on the existing
+  directory and returns the same ref.
+* **Streaming-friendly.**  A :class:`repro.obs.bus.GzipJsonlSink` can
+  write a trace *directly into* a staging directory (:meth:`RunStore.
+  stage` + :meth:`RunStore.put_staged`), so a 256-deme traced
+  scale_study run never holds its trace in memory; committing then only
+  hashes and renames.
+
+Refs accepted everywhere: a unique digest prefix (≥ 4 hex chars) or
+``latest`` (highest put sequence number).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import shutil
+from hashlib import sha256
+from typing import Any
+
+from repro.util.envelope import envelope_digest, make_envelope
+
+#: schema tag of the per-run manifest envelope
+RUN_SCHEMA = "repro-obs-run/1"
+
+#: chunk size for hashing / (de)compressing artifact files
+_CHUNK = 1 << 20
+
+
+def _file_sha256(path: str) -> tuple[str, int]:
+    """(hex digest, byte count) of a file's stored bytes."""
+    h = sha256()
+    n = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(_CHUNK)
+            if not block:
+                break
+            h.update(block)
+            n += len(block)
+    return h.hexdigest(), n
+
+
+def _copy_compressed(src: str, dst_gz: str) -> None:
+    """Gzip ``src`` into ``dst_gz`` with a zeroed mtime (deterministic)."""
+    with open(src, "rb") as fin, open(dst_gz, "wb") as raw:
+        gz = gzip.GzipFile(
+            filename="", fileobj=raw, mode="wb", compresslevel=6, mtime=0
+        )
+        shutil.copyfileobj(fin, gz, _CHUNK)
+        gz.close()
+
+
+def _is_trace(name: str) -> bool:
+    return name.endswith(".jsonl") or name.endswith(".jsonl.gz")
+
+
+class RunStore:
+    """Content-addressed run storage rooted at ``root``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self.runs_dir = os.path.join(self.root, "runs")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def stage(self) -> str:
+        """A fresh staging directory inside the store (same filesystem,
+        so :meth:`put_staged` promotes it with one rename)."""
+        os.makedirs(self.runs_dir, exist_ok=True)
+        k = 0
+        while True:
+            path = os.path.join(self.runs_dir, f".stage{k}")
+            try:
+                os.makedirs(path)
+                return path
+            except FileExistsError:
+                k += 1
+
+    def put(self, files: dict[str, str], meta: dict[str, Any] | None = None) -> str:
+        """Store the named artifact files; returns the run ref (digest16).
+
+        ``files`` maps artifact name → source path.  Trace sources
+        (``*.jsonl`` or ``*.jsonl.gz``, including rotated gzip parts
+        next to them) are stored as a single gzip artifact under
+        ``<name>.gz``; everything else is copied byte-for-byte.
+        Identical content is deduplicated: the existing run directory
+        wins and its ref is returned.
+        """
+        from repro.obs.bus import iter_trace_lines, trace_paths
+
+        stage = self.stage()
+        try:
+            for name, src in files.items():
+                if _is_trace(name):
+                    base = name[:-3] if name.endswith(".gz") else name
+                    dst = os.path.join(stage, base + ".gz")
+                    parts = trace_paths(src)
+                    if len(parts) == 1 and src.endswith(".gz"):
+                        # already one deterministic gz member: keep bytes
+                        shutil.copyfile(src, dst)
+                    elif len(parts) == 1:
+                        _copy_compressed(src, dst)
+                    else:
+                        # rotated source flattens into one gz artifact
+                        with open(dst, "wb") as raw:
+                            gz = gzip.GzipFile(
+                                filename="", fileobj=raw, mode="wb",
+                                compresslevel=6, mtime=0,
+                            )
+                            for line in iter_trace_lines(src):
+                                gz.write(line.rstrip("\n").encode("utf-8"))
+                                gz.write(b"\n")
+                            gz.close()
+                else:
+                    shutil.copyfile(src, os.path.join(stage, os.path.basename(name)))
+            return self.put_staged(stage, meta)
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+
+    def put_staged(self, stage: str, meta: dict[str, Any] | None = None) -> str:
+        """Promote a staging directory (see :meth:`stage`) into the store.
+
+        Hashes every file in ``stage``, writes the manifest, renames the
+        directory to its content digest, and returns the ref.
+        """
+        meta = dict(meta or {})
+        entries: dict[str, dict[str, Any]] = {}
+        for name in sorted(os.listdir(stage)):
+            digest, nbytes = _file_sha256(os.path.join(stage, name))
+            entries[name] = {"sha256": digest, "bytes": nbytes}
+        digest = envelope_digest({"files": entries, "meta": meta})
+        ref = digest[:16]
+        final = os.path.join(self.runs_dir, ref)
+        if os.path.exists(final):
+            shutil.rmtree(stage, ignore_errors=True)
+            return ref
+        manifest = make_envelope(
+            RUN_SCHEMA,
+            {
+                "digest": digest,
+                "seq": self._next_seq(),
+                "files": entries,
+                "meta": meta,
+            },
+        )
+        with open(os.path.join(stage, "manifest.json"), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.rename(stage, final)
+        return ref
+
+    def _next_seq(self) -> int:
+        seqs = [run["seq"] for run in self.ls()]
+        return max(seqs, default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def ls(self) -> list[dict[str, Any]]:
+        """All runs, oldest first: ``{ref, seq, digest, files, meta}``."""
+        if not os.path.isdir(self.runs_dir):
+            return []
+        out = []
+        for name in sorted(os.listdir(self.runs_dir)):
+            manifest_path = os.path.join(self.runs_dir, name, "manifest.json")
+            if name.startswith(".") or not os.path.isfile(manifest_path):
+                continue
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                env = json.load(fh)
+            out.append(
+                {
+                    "ref": name,
+                    "seq": env["seq"],
+                    "digest": env["digest"],
+                    "files": env["files"],
+                    "meta": env["meta"],
+                }
+            )
+        out.sort(key=lambda r: r["seq"])
+        return out
+
+    def resolve(self, ref: str) -> str:
+        """A user-supplied ref → the stored run's directory name.
+
+        Accepts ``latest`` or any unique digest prefix; raises
+        ``KeyError`` for no match or an ambiguous prefix.
+        """
+        runs = self.ls()
+        if not runs:
+            raise KeyError(f"run store at {self.root!r} is empty")
+        if ref == "latest":
+            return runs[-1]["ref"]
+        matches = [r["ref"] for r in runs if r["ref"].startswith(ref) or r["digest"].startswith(ref)]
+        if not matches:
+            raise KeyError(f"no stored run matches ref {ref!r}")
+        if len(set(matches)) > 1:
+            raise KeyError(f"ambiguous ref {ref!r}: matches {sorted(set(matches))}")
+        return matches[0]
+
+    def run_dir(self, ref: str) -> str:
+        """The on-disk directory of a stored run."""
+        return os.path.join(self.runs_dir, self.resolve(ref))
+
+    def manifest(self, ref: str) -> dict[str, Any]:
+        """The run's ``repro-obs-run/1`` manifest envelope."""
+        with open(os.path.join(self.run_dir(ref), "manifest.json"), encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def artifact(self, ref: str, name: str) -> str:
+        """Path of artifact ``name`` inside a stored run.
+
+        Traces stored compressed resolve with or without the ``.gz``
+        suffix (``read_jsonl`` reads either form directly).
+        """
+        base = self.run_dir(ref)
+        for candidate in (name, name + ".gz"):
+            path = os.path.join(base, candidate)
+            if os.path.exists(path):
+                return path
+        raise KeyError(f"run {ref!r} has no artifact {name!r}")
+
+    def trace_path(self, ref: str) -> str:
+        """The run's first trace artifact (``*.jsonl[.gz]``)."""
+        manifest = self.manifest(ref)
+        for name in sorted(manifest["files"]):
+            if name.endswith(".jsonl") or name.endswith(".jsonl.gz"):
+                return os.path.join(self.run_dir(ref), name)
+        raise KeyError(f"run {ref!r} holds no trace artifact")
+
+    def get(self, ref: str, dest: str) -> list[str]:
+        """Extract a run's artifacts into ``dest`` (decompressing traces).
+
+        Returns the extracted file names.  The manifest is copied
+        verbatim so a round trip preserves identity.
+        """
+        base = self.run_dir(ref)
+        os.makedirs(dest, exist_ok=True)
+        out = []
+        for name in sorted(os.listdir(base)):
+            src = os.path.join(base, name)
+            if name.endswith(".jsonl.gz"):
+                plain = name[: -len(".gz")]
+                with gzip.open(src, "rb") as fin, open(
+                    os.path.join(dest, plain), "wb"
+                ) as fout:
+                    shutil.copyfileobj(fin, fout, _CHUNK)
+                out.append(plain)
+            else:
+                shutil.copyfile(src, os.path.join(dest, name))
+                out.append(name)
+        return out

@@ -96,6 +96,10 @@ class Kernel:
         #: is guarded by ``kernel.obs is not None`` so the default costs
         #: one attribute check and changes nothing about the run
         self.obs = None
+        #: optional repro.obs.prof.HostProfiler; same None-guard contract
+        #: as ``obs`` — attaching one charges host wall-clock per event
+        #: category in the general loop and must never change the run
+        self.prof = None
         self._pids = itertools.count()
         self.processes: list[ProcessHandle] = []
         self._events_executed = 0
@@ -297,37 +301,63 @@ class Kernel:
             and max_events is None
             and stop_when is None
             and self.tracer is None
+            and self.prof is None
         ):
             self._run_fast()
             return
-        while True:
-            if self._failure is not None:
-                failure, self._failure = self._failure, None
-                raise failure from failure.original
-            if stop_when is not None and stop_when():
-                return
-            ev = self.queue.pop()
-            if ev is None:
-                self._check_deadlock()
-                return
-            if until is not None and ev.time > until:
-                raise SimulationLimitError(
-                    "simulated-time", until, self.now, self._events_executed
-                )
-            if max_events is not None and self._events_executed >= max_events:
-                raise SimulationLimitError(
-                    "event-count", max_events, self.now, self._events_executed
-                )
-            if ev.time < self.now:
-                raise RuntimeError(
-                    f"event queue violated time order: popped t={ev.time!r} "
-                    f"behind the clock at t={self.now!r}"
-                )
-            self.now = ev.time
-            self._events_executed += 1
-            if self.tracer is not None:
-                self.tracer.record(self.now, ev)
-            ev.fn(*ev.args)
+        prof = self.prof
+        if prof is not None:
+            # Host-time attribution rides the general loop (already pinned
+            # bit-identical to the fast path): everything between events is
+            # kernel.loop, each callback is charged to its subsystem.
+            prof.push("kernel.loop")
+        categories: dict[str, str] = {}
+        try:
+            while True:
+                if self._failure is not None:
+                    failure, self._failure = self._failure, None
+                    raise failure from failure.original
+                if stop_when is not None and stop_when():
+                    return
+                ev = self.queue.pop()
+                if ev is None:
+                    self._check_deadlock()
+                    return
+                if until is not None and ev.time > until:
+                    raise SimulationLimitError(
+                        "simulated-time", until, self.now, self._events_executed
+                    )
+                if max_events is not None and self._events_executed >= max_events:
+                    raise SimulationLimitError(
+                        "event-count", max_events, self.now, self._events_executed
+                    )
+                if ev.time < self.now:
+                    raise RuntimeError(
+                        f"event queue violated time order: popped t={ev.time!r} "
+                        f"behind the clock at t={self.now!r}"
+                    )
+                self.now = ev.time
+                self._events_executed += 1
+                if self.tracer is not None:
+                    self.tracer.record(self.now, ev)
+                if prof is None:
+                    ev.fn(*ev.args)
+                else:
+                    fn = ev.fn
+                    module = getattr(fn, "__module__", "") or ""
+                    cat = categories.get(module)
+                    if cat is None:
+                        from repro.obs.prof import category_of_module
+
+                        cat = categories[module] = category_of_module(module)
+                    prof.push(cat)
+                    try:
+                        fn(*ev.args)
+                    finally:
+                        prof.pop()
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _run_fast(self) -> None:
         """Branch-lean main loop: no tracer, no budgets, no stop predicate.

@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict, deque
 
+from repro.obs.prof import prof_section
 from repro.sim.parallel.plan import ShardPlan
 from repro.sim.parallel.records import GenRecord
 
@@ -110,7 +111,8 @@ class RecordFeed:
     def _wait_one(self, account) -> None:
         t0 = time.perf_counter()  # repro-lint: allow[RPR002] — wall-clock wait accounting
         try:
-            msg = self.conn.recv()
+            with prof_section("par.ipc"):
+                msg = self.conn.recv()
         except EOFError as exc:
             raise RuntimeError(
                 "parallel-kernel coordinator channel closed mid-run"

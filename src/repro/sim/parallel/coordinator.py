@@ -82,12 +82,15 @@ def run_sharded(
     seed: int = 0,
     lag_bound: float | None = None,
     trace_path: str | None = None,
+    profile: bool = False,
 ) -> ShardedRun:
     """Execute ``scenario`` across ``shards`` worker processes.
 
     Bit-identical to ``scenario.run_serial()`` by construction; the
     cross-shard digest check turns any violation into a hard error
-    rather than a silently wrong result.
+    rather than a silently wrong result.  ``profile`` turns on the
+    host-time profiler in every worker (determinism-neutral; snapshots
+    come back on ``outcomes[k].prof``).
     """
     units = scenario.units()
     n = max(1, min(shards, units))
@@ -116,7 +119,7 @@ def run_sharded(
             parent, child = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=shard_worker_main,
-                args=(child, scenario, k, plan, shard_traces[k]),
+                args=(child, scenario, k, plan, shard_traces[k], profile),
                 name=f"repro-shard-{k}",
             )
             proc.start()
